@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI gate for the AASD reproduction. Run from the repo root:
+#   ./ci.sh           # full gate: build, tests, fmt, clippy
+#   ./ci.sh --quick   # tier-1 only: release build + tests
+#
+# The container is offline; everything here is std-only and must work
+# without registry access.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+if [[ "${1:-}" != "--quick" ]]; then
+    echo "==> cargo fmt --check"
+    cargo fmt --check
+
+    echo "==> cargo clippy -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+echo "CI gate passed."

@@ -1,0 +1,43 @@
+//! Attention/decoder decode-step cost as the KV cache grows: the latency of
+//! generating one token at various context lengths, plus the prefill cost.
+//! Run with `cargo bench -p aasd-bench --bench decode`.
+
+use aasd_bench::{bench, report};
+use aasd_nn::{Decoder, DecoderConfig};
+use aasd_tensor::Rng;
+
+fn main() {
+    let vocab = 512;
+    let max_seq = 1024;
+    let model = Decoder::new(DecoderConfig::bench_target(vocab, max_seq), 0xD);
+    println!(
+        "decode step vs cache length (bench_target: dim={} layers={} params={})\n",
+        model.cfg.dim,
+        model.cfg.n_layers,
+        model.n_params()
+    );
+
+    let mut rng = Rng::new(1);
+    for ctx in [16usize, 64, 256, 512] {
+        let prompt: Vec<u32> = (0..ctx).map(|_| rng.below(vocab) as u32).collect();
+        // Pre-fill a cache to `ctx`; O(1) truncate rolls each sample back
+        // so the timed region is purely the forward pass.
+        let mut cache = model.new_cache();
+        model.forward_infer(&prompt, &mut cache);
+        let r = bench(&format!("decode_step/ctx_{ctx}"), || {
+            cache.truncate(ctx);
+            model.forward_infer(&[7], &mut cache)
+        });
+        report(&r);
+    }
+
+    println!();
+    for plen in [64usize, 256] {
+        let prompt: Vec<u32> = (0..plen).map(|_| rng.below(vocab) as u32).collect();
+        let r = bench(&format!("prefill/len_{plen}"), || {
+            let mut c = model.new_cache();
+            model.forward_infer(&prompt, &mut c)
+        });
+        report(&r);
+    }
+}

@@ -1,0 +1,42 @@
+//! Matmul kernel comparison: naive reference vs cache-blocked vs
+//! thread-parallel, across square sizes. Run with
+//! `cargo bench -p aasd-bench --bench matmul`.
+
+use aasd_bench::{bench, report};
+use aasd_tensor::{
+    hardware_threads, matmul_blocked_into, matmul_naive_into, matmul_parallel_into, Rng,
+};
+
+fn main() {
+    println!(
+        "matmul kernels (f32, square N³), {} hardware thread(s)\n",
+        hardware_threads()
+    );
+    for n in [64usize, 128, 256] {
+        let mut rng = Rng::new(n as u64);
+        let a: Vec<f32> = (0..n * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let b: Vec<f32> = (0..n * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let mut c = vec![0.0f32; n * n];
+        let flops = 2.0 * (n as f64).powi(3);
+
+        let naive = bench(&format!("matmul/naive/{n}"), || {
+            matmul_naive_into(&mut c, &a, &b, n, n, n)
+        });
+        let blocked = bench(&format!("matmul/blocked/{n}"), || {
+            matmul_blocked_into(&mut c, &a, &b, n, n, n)
+        });
+        let parallel = bench(&format!("matmul/parallel/{n}"), || {
+            matmul_parallel_into(&mut c, &a, &b, n, n, n)
+        });
+
+        for r in [&naive, &blocked, &parallel] {
+            report(r);
+            println!("{:<44} {:>10.2} GFLOP/s", "", flops / r.median_ns);
+        }
+        println!(
+            "  speedup blocked vs naive: {:.2}x   parallel vs naive: {:.2}x\n",
+            naive.median_ns / blocked.median_ns,
+            naive.median_ns / parallel.median_ns
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! The speculative-decoding payoff bench: scoring γ draft tokens with ONE
+//! batched target forward vs γ sequential single-token forwards. The
+//! sequential path re-reads every weight matrix γ times (memory-bound
+//! GEMV), the batched path once (GEMM) — this gap is why speculative
+//! decoding pays. Run with `cargo bench -p aasd-bench --bench verify`.
+
+use aasd_bench::{bench, report};
+use aasd_nn::{Decoder, DecoderConfig};
+use aasd_specdec::{autoregressive_greedy, verify_greedy, verify_greedy_sequential};
+use aasd_tensor::Rng;
+
+fn main() {
+    let vocab = 512;
+    let max_seq = 512;
+    let target = Decoder::new(DecoderConfig::bench_target(vocab, max_seq), 0xD);
+    let mut rng = Rng::new(2);
+    let ctx = 128usize;
+    let prompt: Vec<u32> = (0..ctx).map(|_| rng.below(vocab) as u32).collect();
+    let mut cache = target.new_cache();
+    let frontier_t = target.forward_infer(&prompt, &mut cache);
+    let frontier = frontier_t.row(frontier_t.rows - 1).to_vec();
+
+    println!(
+        "batched vs sequential verify (ctx={ctx}, target params={})\n",
+        target.n_params()
+    );
+    for gamma in [3usize, 5, 8] {
+        // Use the target's own greedy continuation as the draft block so
+        // every token is accepted: both paths then do the full γ-token
+        // scoring work and the comparison is purely batched-vs-sequential
+        // (a random block would let the sequential path early-exit at the
+        // first mismatch).
+        let draft = autoregressive_greedy(&target, &prompt, gamma);
+        let batched = bench(&format!("verify/batched/gamma_{gamma}"), || {
+            cache.truncate(ctx);
+            verify_greedy(&target, &mut cache, &frontier, &draft)
+        });
+        let sequential = bench(&format!("verify/sequential/gamma_{gamma}"), || {
+            cache.truncate(ctx);
+            verify_greedy_sequential(&target, &mut cache, &frontier, &draft)
+        });
+        report(&batched);
+        report(&sequential);
+        println!(
+            "  batched speedup at γ={gamma}: {:.2}x\n",
+            sequential.median_ns / batched.median_ns
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Perf-trajectory snapshot harness: runs the kernel and speculative-decode
+//! benches and writes a machine-readable JSON summary (default
+//! `BENCH_PR1.json`, override with the first CLI arg). Future perf PRs
+//! regress against this file.
+//!
+//! Usage: `cargo run --release -p aasd-bench --bin perf_snapshot [out.json]`
+
+use aasd_bench::{bench, json, report, BenchResult};
+use aasd_nn::{Decoder, DecoderConfig};
+use aasd_specdec::{
+    autoregressive_greedy, speculative_greedy, verify_greedy, verify_greedy_sequential,
+};
+use aasd_tensor::{
+    hardware_threads, matmul_blocked_into, matmul_naive_into, matmul_parallel_into, Rng,
+};
+use std::time::Instant;
+
+fn result_json(r: &BenchResult) -> String {
+    json::object(&[
+        json::field("median_ms", &json::num(r.median_ns / 1e6)),
+        json::field("min_ms", &json::num(r.min_ns / 1e6)),
+        json::field("samples", &r.samples.to_string()),
+    ])
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR1.json".to_string());
+    let mut sections: Vec<String> = Vec::new();
+
+    sections.push(json::field(
+        "meta",
+        &json::object(&[
+            json::field("snapshot", &json::string("PR1")),
+            json::field("hardware_threads", &hardware_threads().to_string()),
+            json::field(
+                "note",
+                &json::string("std-only harness; medians over time-budgeted samples"),
+            ),
+        ]),
+    ));
+
+    // ---- matmul: naive vs blocked vs parallel --------------------------
+    println!("== matmul kernels ==");
+    let mut matmul_items = Vec::new();
+    for n in [64usize, 128, 256] {
+        let mut rng = Rng::new(n as u64);
+        let a: Vec<f32> = (0..n * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let b: Vec<f32> = (0..n * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let mut c = vec![0.0f32; n * n];
+        let flops = 2.0 * (n as f64).powi(3);
+        let naive = bench(&format!("matmul/naive/{n}"), || {
+            matmul_naive_into(&mut c, &a, &b, n, n, n)
+        });
+        let blocked = bench(&format!("matmul/blocked/{n}"), || {
+            matmul_blocked_into(&mut c, &a, &b, n, n, n)
+        });
+        let parallel = bench(&format!("matmul/parallel/{n}"), || {
+            matmul_parallel_into(&mut c, &a, &b, n, n, n)
+        });
+        for r in [&naive, &blocked, &parallel] {
+            report(r);
+        }
+        matmul_items.push(json::object(&[
+            json::field("n", &n.to_string()),
+            json::field("naive", &result_json(&naive)),
+            json::field("blocked", &result_json(&blocked)),
+            json::field("parallel", &result_json(&parallel)),
+            json::field("gflops_blocked", &json::num(flops / blocked.median_ns)),
+            json::field(
+                "speedup_blocked_vs_naive",
+                &json::num(naive.median_ns / blocked.median_ns),
+            ),
+            json::field(
+                "speedup_parallel_vs_naive",
+                &json::num(naive.median_ns / parallel.median_ns),
+            ),
+        ]));
+    }
+    sections.push(json::field("matmul", &json::array(&matmul_items)));
+
+    // ---- decode step vs cache length -----------------------------------
+    println!("\n== decode step vs cache length ==");
+    let vocab = 512;
+    let target = Decoder::new(DecoderConfig::bench_target(vocab, 1024), 0xD);
+    let mut rng = Rng::new(1);
+    let mut decode_items = Vec::new();
+    for ctx in [16usize, 64, 256, 512] {
+        let prompt: Vec<u32> = (0..ctx).map(|_| rng.below(vocab) as u32).collect();
+        let mut cache = target.new_cache();
+        target.forward_infer(&prompt, &mut cache);
+        let r = bench(&format!("decode_step/ctx_{ctx}"), || {
+            cache.truncate(ctx);
+            target.forward_infer(&[7], &mut cache)
+        });
+        report(&r);
+        decode_items.push(json::object(&[
+            json::field("ctx", &ctx.to_string()),
+            json::field("step", &result_json(&r)),
+        ]));
+    }
+    sections.push(json::field("decode_step", &json::array(&decode_items)));
+
+    // ---- batched vs sequential verify ----------------------------------
+    println!("\n== batched vs sequential verify ==");
+    let ctx = 128usize;
+    let prompt: Vec<u32> = (0..ctx).map(|_| rng.below(vocab) as u32).collect();
+    let mut cache = target.new_cache();
+    let frontier_t = target.forward_infer(&prompt, &mut cache);
+    let frontier = frontier_t.row(frontier_t.rows - 1).to_vec();
+    let mut verify_items = Vec::new();
+    for gamma in [3usize, 5, 8] {
+        // Self-consistent draft block (fully accepted) so both paths do the
+        // complete γ-token scoring work — see benches/verify.rs.
+        let draft = autoregressive_greedy(&target, &prompt, gamma);
+        let batched = bench(&format!("verify/batched/gamma_{gamma}"), || {
+            cache.truncate(ctx);
+            verify_greedy(&target, &mut cache, &frontier, &draft)
+        });
+        let sequential = bench(&format!("verify/sequential/gamma_{gamma}"), || {
+            cache.truncate(ctx);
+            verify_greedy_sequential(&target, &mut cache, &frontier, &draft)
+        });
+        report(&batched);
+        report(&sequential);
+        let ratio = sequential.median_ns / batched.median_ns;
+        println!("  batched speedup at γ={gamma}: {ratio:.2}x");
+        verify_items.push(json::object(&[
+            json::field("gamma", &gamma.to_string()),
+            json::field("batched", &result_json(&batched)),
+            json::field("sequential", &result_json(&sequential)),
+            json::field("speedup_batched_vs_sequential", &json::num(ratio)),
+        ]));
+    }
+    sections.push(json::field("verify", &json::array(&verify_items)));
+
+    // ---- end-to-end: speculative loop vs autoregressive ----------------
+    println!("\n== end-to-end greedy generation (CPU clock) ==");
+    let draft_model = Decoder::new(DecoderConfig::bench_draft(vocab, 512), 0xF);
+    let e2e_target = Decoder::new(DecoderConfig::bench_target(vocab, 512), 0xD);
+    let p: Vec<u32> = (0..32).map(|_| rng.below(vocab) as u32).collect();
+    let max_new = 64;
+    let gamma = 5;
+
+    let t0 = Instant::now();
+    let reference = autoregressive_greedy(&e2e_target, &p, max_new);
+    let ar_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let (spec, stats) = speculative_greedy(&e2e_target, &draft_model, &p, max_new, gamma);
+    let spec_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(spec, reference, "losslessness violated in harness run");
+
+    let alpha = stats.acceptance_rate();
+    let tau = stats.block_efficiency();
+    println!("autoregressive: {ar_ms:.1} ms   speculative: {spec_ms:.1} ms");
+    println!("alpha={alpha:.3}  tau={tau:.3}  (untrained draft; CPU compute-bound clock)");
+    sections.push(json::field(
+        "end_to_end",
+        &json::object(&[
+            json::field("max_new", &max_new.to_string()),
+            json::field("gamma", &gamma.to_string()),
+            json::field("autoregressive_ms", &json::num(ar_ms)),
+            json::field("speculative_ms", &json::num(spec_ms)),
+            json::field("acceptance_rate", &json::num(alpha)),
+            json::field("block_efficiency", &json::num(tau)),
+            json::field("lossless", "true"),
+        ]),
+    ));
+
+    let doc = json::object(&sections);
+    std::fs::write(&out_path, format!("{doc}\n")).expect("write snapshot");
+    println!("\nwrote {out_path}");
+}

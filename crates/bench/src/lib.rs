@@ -1,0 +1,161 @@
+//! `aasd-bench` — micro-benchmark harness and perf-snapshot tooling.
+//!
+//! The build container has no registry access, so this is a std-only
+//! criterion stand-in: warmup, a time-budgeted sample loop, and
+//! median/min/mean statistics. The `benches/*.rs` targets (run via
+//! `cargo bench -p aasd-bench`) print human-readable tables; the
+//! `perf_snapshot` bin emits the machine-readable `BENCH_PR1.json`
+//! trajectory file that future perf PRs regress against.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub name: String,
+    /// Samples collected (each sample times one invocation).
+    pub samples: usize,
+    pub median_ns: f64,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+}
+
+impl BenchResult {
+    pub fn median_ms(&self) -> f64 {
+        self.median_ns / 1e6
+    }
+}
+
+/// Benchmark a closure: a few warmup runs, then sample until the time
+/// budget (default 600 ms) or `max_samples` is exhausted. The closure's
+/// result is `black_box`ed so the work cannot be optimized away.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> BenchResult {
+    bench_with_budget(name, 600_000_000, 200, &mut f)
+}
+
+pub fn bench_with_budget<T>(
+    name: &str,
+    budget_ns: u64,
+    max_samples: usize,
+    f: &mut impl FnMut() -> T,
+) -> BenchResult {
+    for _ in 0..3 {
+        black_box(f());
+    }
+    let mut samples_ns: Vec<f64> = Vec::new();
+    let started = Instant::now();
+    while samples_ns.len() < max_samples
+        && (samples_ns.len() < 5 || started.elapsed().as_nanos() < budget_ns as u128)
+    {
+        let t = Instant::now();
+        black_box(f());
+        samples_ns.push(t.elapsed().as_nanos() as f64);
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = samples_ns.len();
+    let median_ns = if n % 2 == 1 {
+        samples_ns[n / 2]
+    } else {
+        0.5 * (samples_ns[n / 2 - 1] + samples_ns[n / 2])
+    };
+    let mean_ns = samples_ns.iter().sum::<f64>() / n as f64;
+    BenchResult {
+        name: name.to_string(),
+        samples: n,
+        median_ns,
+        mean_ns,
+        min_ns: samples_ns[0],
+    }
+}
+
+/// Print one result as an aligned human-readable row.
+pub fn report(r: &BenchResult) {
+    println!(
+        "{:<44} {:>10.3} ms median  ({:>10.3} ms min, {} samples)",
+        r.name,
+        r.median_ns / 1e6,
+        r.min_ns / 1e6,
+        r.samples
+    );
+}
+
+/// Minimal JSON value writer (std-only `serde_json` stand-in) for the
+/// perf-snapshot output. Only what the harness needs: objects, arrays,
+/// strings, and finite numbers.
+pub mod json {
+    /// Escape a string for a JSON literal.
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Format an f64 as a JSON number (finite; falls back to 0 otherwise,
+    /// since JSON has no NaN/Inf).
+    pub fn num(x: f64) -> String {
+        if x.is_finite() {
+            format!("{x:.6}")
+        } else {
+            "0".to_string()
+        }
+    }
+
+    /// `key: value` pair with a pre-rendered value.
+    pub fn field(key: &str, rendered_value: &str) -> String {
+        format!("\"{}\": {}", escape(key), rendered_value)
+    }
+
+    pub fn string(s: &str) -> String {
+        format!("\"{}\"", escape(s))
+    }
+
+    pub fn object(fields: &[String]) -> String {
+        format!("{{{}}}", fields.join(", "))
+    }
+
+    pub fn array(items: &[String]) -> String {
+        format!("[{}]", items.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_produces_ordered_stats() {
+        let r = bench_with_budget("spin", 5_000_000, 20, &mut || {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(r.samples >= 5);
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.min_ns > 0.0);
+    }
+
+    #[test]
+    fn json_escaping_and_shapes() {
+        assert_eq!(json::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json::num(f64::NAN), "0");
+        let obj = json::object(&[
+            json::field("name", &json::string("x")),
+            json::field("v", &json::num(1.5)),
+        ]);
+        assert_eq!(obj, "{\"name\": \"x\", \"v\": 1.500000}");
+        assert_eq!(json::array(&["1".into(), "2".into()]), "[1, 2]");
+    }
+}

@@ -1,0 +1,205 @@
+//! Multi-head causal self-attention with two deliberately distinct paths:
+//!
+//! * [`Attention::forward_infer`] — the inference hot path. Projects the new
+//!   token block, appends its K/V to the pre-allocated cache, then attends
+//!   each query over the cached prefix with per-head dot products. One call
+//!   handles prefill (`t = prompt`), decode (`t = 1`), and batched
+//!   speculative verify (`t = γ`) uniformly — batching the γ verify tokens
+//!   into a single call is what makes verification one weight pass instead
+//!   of γ.
+//! * [`Attention::forward_full`] — the full-sequence reference: materializes
+//!   per-head `Q·Kᵀ` score matrices with the blocked matmul, applies an
+//!   explicit causal mask, and never touches a cache. Kept as the semantic
+//!   oracle the incremental path is property-tested against.
+
+use crate::cache::LayerKv;
+use crate::layers::Linear;
+use crate::rope::Rope;
+use aasd_tensor::{axpy, dot, softmax_row, Rng, Tensor};
+
+#[derive(Debug, Clone)]
+pub struct Attention {
+    pub wq: Linear,
+    pub wk: Linear,
+    pub wv: Linear,
+    pub wo: Linear,
+    pub n_heads: usize,
+    pub head_dim: usize,
+}
+
+impl Attention {
+    pub fn new(rng: &mut Rng, dim: usize, n_heads: usize) -> Self {
+        assert!(dim.is_multiple_of(n_heads), "dim must divide into heads");
+        Self {
+            wq: Linear::new(rng, dim, dim),
+            wk: Linear::new(rng, dim, dim),
+            wv: Linear::new(rng, dim, dim),
+            wo: Linear::new(rng, dim, dim),
+            n_heads,
+            head_dim: dim / n_heads,
+        }
+    }
+
+    fn scale(&self) -> f32 {
+        1.0 / (self.head_dim as f32).sqrt()
+    }
+
+    /// Incremental path. `x: [t, dim]` is the block of new token states whose
+    /// absolute positions start at `cache.len()`; K/V for the block are
+    /// appended to `cache` and each query attends causally over everything
+    /// cached so far (prefix + earlier rows of this block).
+    pub fn forward_infer(&self, x: &Tensor, rope: &Rope, cache: &mut LayerKv) -> Tensor {
+        let t = x.rows;
+        let dim = x.cols;
+        let pos0 = cache.len();
+        let mut q = self.wq.forward(x);
+        let mut k = self.wk.forward(x);
+        let v = self.wv.forward(x);
+        for i in 0..t {
+            for h in 0..self.n_heads {
+                let span = h * self.head_dim..(h + 1) * self.head_dim;
+                rope.apply(&mut q.row_mut(i)[span.clone()], pos0 + i);
+                rope.apply(&mut k.row_mut(i)[span], pos0 + i);
+            }
+        }
+        for i in 0..t {
+            cache.append(k.row(i), v.row(i));
+        }
+
+        let scale = self.scale();
+        let mut ctx = Tensor::zeros(t, dim);
+        // Scratch score buffer sized to the longest context this call sees.
+        let mut scores = vec![0.0f32; pos0 + t];
+        for i in 0..t {
+            let ctx_len = pos0 + i + 1; // causal: positions 0..=pos0+i
+            for h in 0..self.n_heads {
+                let span = h * self.head_dim..(h + 1) * self.head_dim;
+                let q_head = &q.row(i)[span.clone()];
+                let scores = &mut scores[..ctx_len];
+                for (j, s) in scores.iter_mut().enumerate() {
+                    *s = dot(q_head, &cache.key(j)[span.clone()]) * scale;
+                }
+                softmax_row(scores);
+                let out_head = &mut ctx.row_mut(i)[span.clone()];
+                for (j, &w) in scores.iter().enumerate() {
+                    axpy(out_head, w, &cache.value(j)[span.clone()]);
+                }
+            }
+        }
+        self.wo.forward(&ctx)
+    }
+
+    /// Full-sequence reference path: `x: [t, dim]` is the whole sequence at
+    /// positions `0..t`. Stateless; builds explicit masked score matrices.
+    pub fn forward_full(&self, x: &Tensor, rope: &Rope) -> Tensor {
+        let t = x.rows;
+        let dim = x.cols;
+        let mut q = self.wq.forward(x);
+        let mut k = self.wk.forward(x);
+        let v = self.wv.forward(x);
+        for i in 0..t {
+            for h in 0..self.n_heads {
+                let span = h * self.head_dim..(h + 1) * self.head_dim;
+                rope.apply(&mut q.row_mut(i)[span.clone()], i);
+                rope.apply(&mut k.row_mut(i)[span], i);
+            }
+        }
+        let scale = self.scale();
+        let mut ctx = Tensor::zeros(t, dim);
+        for h in 0..self.n_heads {
+            let span = |r: usize| r * dim + h * self.head_dim;
+            // Gather this head's Q/K/V as compact [t, head_dim] matrices.
+            let mut qh = Tensor::zeros(t, self.head_dim);
+            let mut kh = Tensor::zeros(t, self.head_dim);
+            let mut vh = Tensor::zeros(t, self.head_dim);
+            for i in 0..t {
+                qh.row_mut(i)
+                    .copy_from_slice(&q.data[span(i)..span(i) + self.head_dim]);
+                kh.row_mut(i)
+                    .copy_from_slice(&k.data[span(i)..span(i) + self.head_dim]);
+                vh.row_mut(i)
+                    .copy_from_slice(&v.data[span(i)..span(i) + self.head_dim]);
+            }
+            let mut s = qh.matmul_transposed(&kh); // [t, t]
+            for i in 0..t {
+                let row = s.row_mut(i);
+                for (j, sv) in row.iter_mut().enumerate() {
+                    if j > i {
+                        *sv = f32::NEG_INFINITY; // causal mask
+                    } else {
+                        *sv *= scale;
+                    }
+                }
+            }
+            s.softmax_rows_inplace();
+            let oh = s.matmul(&vh); // [t, head_dim]
+            for i in 0..t {
+                ctx.data[span(i)..span(i) + self.head_dim].copy_from_slice(oh.row(i));
+            }
+        }
+        self.wo.forward(&ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// The incremental cached path must reproduce the stateless full path,
+    /// regardless of how the sequence is chopped into blocks.
+    #[test]
+    fn incremental_matches_full_for_any_block_split() {
+        let mut rng = Rng::new(42);
+        let (dim, heads, t) = (32, 4, 13);
+        let attn = Attention::new(&mut rng, dim, heads);
+        let rope = Rope::new(64, dim / heads, 10_000.0);
+        let x = Tensor::randn(&mut rng, t, dim, 1.0);
+
+        let full = attn.forward_full(&x, &rope);
+
+        for splits in [vec![t], vec![1; t], vec![5, 1, 4, 3]] {
+            assert_eq!(splits.iter().sum::<usize>(), t);
+            let mut cache = LayerKv::new(64, dim);
+            let mut got = Vec::new();
+            let mut at = 0;
+            for blk in splits {
+                let xs = Tensor::from_vec(x.data[at * dim..(at + blk) * dim].to_vec(), blk, dim);
+                let y = attn.forward_infer(&xs, &rope, &mut cache);
+                got.extend_from_slice(&y.data);
+                at += blk;
+            }
+            assert!(
+                max_abs_diff(&got, &full.data) < 1e-4,
+                "cached path diverged from full recompute"
+            );
+        }
+    }
+
+    /// Causality: the output at position i must not change when the suffix
+    /// after i changes.
+    #[test]
+    fn causal_outputs_ignore_future() {
+        let mut rng = Rng::new(9);
+        let (dim, heads, t) = (16, 2, 8);
+        let attn = Attention::new(&mut rng, dim, heads);
+        let rope = Rope::new(32, dim / heads, 10_000.0);
+        let x1 = Tensor::randn(&mut rng, t, dim, 1.0);
+        let mut x2 = x1.clone();
+        for v in x2.row_mut(t - 1) {
+            *v += 5.0; // perturb only the last position
+        }
+        let y1 = attn.forward_full(&x1, &rope);
+        let y2 = attn.forward_full(&x2, &rope);
+        for i in 0..t - 1 {
+            assert!(max_abs_diff(y1.row(i), y2.row(i)) < 1e-6, "row {i} leaked");
+        }
+        assert!(max_abs_diff(y1.row(t - 1), y2.row(t - 1)) > 1e-3);
+    }
+}

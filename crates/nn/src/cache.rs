@@ -1,0 +1,190 @@
+//! Growable, pre-allocated KV cache.
+//!
+//! The decode hot loop appends one position per step; a `Vec::push`-style
+//! cache would reallocate and memcpy the whole history O(log n) times per
+//! sequence. Here every layer's K and V buffers are allocated **once** at
+//! `max_seq × dim` and appending is a bounds-checked `copy_from_slice` —
+//! the buffer address never changes for the lifetime of the cache (asserted
+//! by `buffers_never_reallocate` below). Speculative decoding additionally
+//! needs cheap rollback of rejected draft positions: [`KvCache::truncate`]
+//! is O(1) because it only moves the length cursor.
+
+/// Per-layer key/value store for one sequence.
+#[derive(Debug, Clone)]
+pub struct LayerKv {
+    k: Vec<f32>,
+    v: Vec<f32>,
+    dim: usize,
+    max_seq: usize,
+    len: usize,
+}
+
+impl LayerKv {
+    pub fn new(max_seq: usize, dim: usize) -> Self {
+        Self {
+            k: vec![0.0; max_seq * dim],
+            v: vec![0.0; max_seq * dim],
+            dim,
+            max_seq,
+            len: 0,
+        }
+    }
+
+    /// Number of cached positions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one position's key and value rows (each `dim` floats).
+    pub fn append(&mut self, k_row: &[f32], v_row: &[f32]) {
+        assert_eq!(k_row.len(), self.dim);
+        assert_eq!(v_row.len(), self.dim);
+        assert!(
+            self.len < self.max_seq,
+            "KV cache overflow: max_seq = {}",
+            self.max_seq
+        );
+        let at = self.len * self.dim;
+        self.k[at..at + self.dim].copy_from_slice(k_row);
+        self.v[at..at + self.dim].copy_from_slice(v_row);
+        self.len += 1;
+    }
+
+    /// All cached keys, `[len, dim]` row-major.
+    #[inline]
+    pub fn keys(&self) -> &[f32] {
+        &self.k[..self.len * self.dim]
+    }
+
+    /// All cached values, `[len, dim]` row-major.
+    #[inline]
+    pub fn values(&self) -> &[f32] {
+        &self.v[..self.len * self.dim]
+    }
+
+    /// Key row for position `pos`.
+    #[inline]
+    pub fn key(&self, pos: usize) -> &[f32] {
+        debug_assert!(pos < self.len);
+        &self.k[pos * self.dim..(pos + 1) * self.dim]
+    }
+
+    /// Value row for position `pos`.
+    #[inline]
+    pub fn value(&self, pos: usize) -> &[f32] {
+        debug_assert!(pos < self.len);
+        &self.v[pos * self.dim..(pos + 1) * self.dim]
+    }
+
+    /// Roll back to `new_len` positions. O(1): rejected speculative entries
+    /// are simply overwritten by the next append.
+    pub fn truncate(&mut self, new_len: usize) {
+        assert!(new_len <= self.len, "truncate cannot grow the cache");
+        self.len = new_len;
+    }
+
+    /// Stable address of the key buffer (used by tests to prove the
+    /// no-reallocation property).
+    pub fn key_buffer_ptr(&self) -> *const f32 {
+        self.k.as_ptr()
+    }
+}
+
+/// One [`LayerKv`] per decoder layer, kept in lockstep.
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    pub layers: Vec<LayerKv>,
+}
+
+impl KvCache {
+    pub fn new(n_layers: usize, max_seq: usize, dim: usize) -> Self {
+        Self {
+            layers: (0..n_layers).map(|_| LayerKv::new(max_seq, dim)).collect(),
+        }
+    }
+
+    /// Cached sequence length (identical across layers by construction).
+    pub fn len(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.len())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Roll every layer back to `new_len` positions.
+    pub fn truncate(&mut self, new_len: usize) {
+        for layer in &mut self.layers {
+            layer.truncate(new_len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_never_reallocate() {
+        let max_seq = 64;
+        let dim = 8;
+        let mut layer = LayerKv::new(max_seq, dim);
+        let ptr = layer.key_buffer_ptr();
+        let row = vec![1.0f32; dim];
+        for _ in 0..max_seq {
+            layer.append(&row, &row);
+        }
+        assert_eq!(ptr, layer.key_buffer_ptr(), "append reallocated the cache");
+        layer.truncate(3);
+        assert_eq!(ptr, layer.key_buffer_ptr());
+    }
+
+    #[test]
+    fn append_then_read_back() {
+        let mut layer = LayerKv::new(4, 3);
+        layer.append(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]);
+        layer.append(&[7.0, 8.0, 9.0], &[1.5, 2.5, 3.5]);
+        assert_eq!(layer.len(), 2);
+        assert_eq!(layer.key(1), &[7.0, 8.0, 9.0]);
+        assert_eq!(layer.value(0), &[4.0, 5.0, 6.0]);
+        assert_eq!(layer.keys().len(), 6);
+    }
+
+    #[test]
+    fn truncate_rolls_back_then_overwrites() {
+        let mut layer = LayerKv::new(4, 2);
+        layer.append(&[1.0, 1.0], &[1.0, 1.0]);
+        layer.append(&[2.0, 2.0], &[2.0, 2.0]);
+        layer.truncate(1);
+        assert_eq!(layer.len(), 1);
+        layer.append(&[9.0, 9.0], &[9.0, 9.0]);
+        assert_eq!(layer.key(1), &[9.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut layer = LayerKv::new(1, 2);
+        layer.append(&[0.0, 0.0], &[0.0, 0.0]);
+        layer.append(&[0.0, 0.0], &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn multi_layer_lockstep() {
+        let mut cache = KvCache::new(3, 8, 4);
+        assert!(cache.is_empty());
+        let row = vec![0.5f32; 4];
+        for layer in &mut cache.layers {
+            layer.append(&row, &row);
+        }
+        assert_eq!(cache.len(), 1);
+        cache.truncate(0);
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Parameterized layers: linear projection, token embedding, RMS norm.
+
+use aasd_tensor::{Rng, Tensor};
+
+/// Bias-free linear layer. The weight is stored `[in, out]` so a batch of
+/// row vectors multiplies it directly (`x: [t, in]` → `x·W: [t, out]`) with
+/// unit-stride access in the blocked matmul kernel.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    pub w: Tensor,
+}
+
+impl Linear {
+    pub fn new(rng: &mut Rng, fan_in: usize, fan_out: usize) -> Self {
+        Self {
+            w: Tensor::xavier(rng, fan_in, fan_out),
+        }
+    }
+
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        x.matmul(&self.w)
+    }
+}
+
+/// Token embedding table `[vocab, dim]`.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    pub table: Tensor,
+}
+
+impl Embedding {
+    pub fn new(rng: &mut Rng, vocab: usize, dim: usize) -> Self {
+        Self {
+            table: Tensor::randn(rng, vocab, dim, 0.02),
+        }
+    }
+
+    /// Gather rows for a token sequence → `[t, dim]`.
+    pub fn forward(&self, tokens: &[u32]) -> Tensor {
+        let dim = self.table.cols;
+        let mut out = Tensor::zeros(tokens.len(), dim);
+        for (i, &tok) in tokens.iter().enumerate() {
+            let tok = tok as usize;
+            assert!(tok < self.table.rows, "token {tok} out of vocabulary");
+            out.row_mut(i).copy_from_slice(self.table.row(tok));
+        }
+        out
+    }
+}
+
+/// RMSNorm (Zhang & Sennrich 2019): `x * gain / rms(x)`, no mean-centering.
+#[derive(Debug, Clone)]
+pub struct RmsNorm {
+    pub gain: Vec<f32>,
+    pub eps: f32,
+}
+
+impl RmsNorm {
+    pub fn new(dim: usize) -> Self {
+        Self {
+            gain: vec![1.0; dim],
+            eps: 1e-5,
+        }
+    }
+
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.cols, self.gain.len());
+        let mut out = x.clone();
+        for r in 0..out.rows {
+            self.forward_row(out.row_mut(r));
+        }
+        out
+    }
+
+    pub fn forward_row(&self, row: &mut [f32]) {
+        let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / row.len() as f32;
+        let inv = 1.0 / (ms + self.eps).sqrt();
+        for (v, g) in row.iter_mut().zip(self.gain.iter()) {
+            *v *= inv * *g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedding_gathers_rows() {
+        let mut rng = Rng::new(1);
+        let emb = Embedding::new(&mut rng, 10, 4);
+        let out = emb.forward(&[3, 0, 3]);
+        assert_eq!(out.row(0), emb.table.row(3));
+        assert_eq!(out.row(1), emb.table.row(0));
+        assert_eq!(out.row(0), out.row(2));
+    }
+
+    #[test]
+    fn rmsnorm_unit_rms() {
+        let mut rng = Rng::new(2);
+        let norm = RmsNorm::new(32);
+        let x = Tensor::randn(&mut rng, 5, 32, 3.0);
+        let y = norm.forward(&x);
+        for r in 0..y.rows {
+            let ms: f32 = y.row(r).iter().map(|v| v * v).sum::<f32>() / 32.0;
+            assert!((ms - 1.0).abs() < 1e-3, "row {r} rms² = {ms}");
+        }
+    }
+
+    #[test]
+    fn linear_shape() {
+        let mut rng = Rng::new(3);
+        let lin = Linear::new(&mut rng, 8, 16);
+        let x = Tensor::randn(&mut rng, 3, 8, 1.0);
+        let y = lin.forward(&x);
+        assert_eq!((y.rows, y.cols), (3, 16));
+    }
+}

@@ -1,0 +1,26 @@
+//! `aasd-nn` — transformer building blocks for the AASD reproduction.
+//!
+//! The crate provides the decoder-only LM substrate that both the target
+//! and draft models of the speculative-decoding engine are built from:
+//!
+//! * [`layers`] — `Linear`, `Embedding`, `RmsNorm`;
+//! * [`rope`] — rotary position embeddings with precomputed tables;
+//! * [`cache`] — pre-allocated growable KV cache with O(1) rollback
+//!   (the structure the AASD draft head will later attend over);
+//! * [`attention`] — multi-head causal attention with an incremental cached
+//!   path and a full-sequence matmul reference path;
+//! * [`decoder`] — SwiGLU blocks and the [`decoder::Decoder`] model with
+//!   `forward_infer` (prefill / decode / batched verify) and `forward_full`
+//!   (stateless reference), both property-tested for agreement.
+
+pub mod attention;
+pub mod cache;
+pub mod decoder;
+pub mod layers;
+pub mod rope;
+
+pub use attention::Attention;
+pub use cache::{KvCache, LayerKv};
+pub use decoder::{Decoder, DecoderBlock, DecoderConfig, Mlp};
+pub use layers::{Embedding, Linear, RmsNorm};
+pub use rope::Rope;

@@ -1,0 +1,332 @@
+//! `aasd-specdec` — speculative decoding engine (greedy/lossless core).
+//!
+//! Speculative decoding (Leviathan et al. 2023; Gagrani et al. 2024 for the
+//! MLLM setting) lets a cheap *draft* model propose γ tokens which the
+//! expensive *target* model then scores in **one** batched forward pass —
+//! the perf heart of this crate is [`verify_greedy`], which does exactly
+//! that over the target's KV cache, against the reference
+//! [`verify_greedy_sequential`] that pays γ separate forwards. The greedy
+//! loop [`speculative_greedy`] is lossless: its output is token-identical
+//! to [`autoregressive_greedy`] on the same target (the root integration
+//! tests assert this), because every committed token is argmax under the
+//! target's own logits.
+//!
+//! Greedy acceptance is the one-hot special case of Leviathan rejection
+//! sampling; the stochastic version (accept `x'~q` w.p. `min(1, p/q)`)
+//! arrives with the training stack in a later PR.
+
+pub mod metrics;
+
+pub use metrics::SpecStats;
+
+use aasd_nn::{Decoder, KvCache};
+use aasd_tensor::{argmax, Tensor};
+
+/// Result of verifying one γ-token draft block against the target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyOutcome {
+    /// Length of the accepted draft prefix (`0..=γ`).
+    pub accepted: usize,
+    /// The target-sanctioned token that follows the accepted prefix: the
+    /// correction token on first mismatch, or the bonus token when the
+    /// whole block is accepted.
+    pub next_token: u32,
+}
+
+/// Batched greedy verify: score all `draft` tokens in a single target
+/// forward pass over `cache`.
+///
+/// On entry `cache` holds the committed context (length `L`) and
+/// `frontier_logits` is the target's next-token distribution at position
+/// `L` (produced when the last committed token was fed). On exit the cache
+/// is rolled back to `L + accepted` — rejected speculative KV entries are
+/// discarded in O(1).
+pub fn verify_greedy(
+    target: &Decoder,
+    cache: &mut KvCache,
+    frontier_logits: &[f32],
+    draft: &[u32],
+) -> VerifyOutcome {
+    assert!(!draft.is_empty(), "empty draft block");
+    let base = cache.len();
+    // ONE forward for all γ tokens: γ+0 extra weight passes instead of γ.
+    let logits = target.forward_infer(draft, cache);
+
+    // Target prediction for draft[i]: frontier for i = 0, else row i-1.
+    let mut accepted = 0;
+    while accepted < draft.len() {
+        let pred = if accepted == 0 {
+            argmax(frontier_logits) as u32
+        } else {
+            argmax(logits.row(accepted - 1)) as u32
+        };
+        if pred != draft[accepted] {
+            cache.truncate(base + accepted);
+            return VerifyOutcome {
+                accepted,
+                next_token: pred,
+            };
+        }
+        accepted += 1;
+    }
+    // Fully accepted: the last logits row is a free bonus token.
+    let bonus = argmax(logits.row(draft.len() - 1)) as u32;
+    cache.truncate(base + accepted);
+    VerifyOutcome {
+        accepted,
+        next_token: bonus,
+    }
+}
+
+/// Reference verify: same semantics as [`verify_greedy`] but paying γ
+/// sequential single-token forwards. Kept for the equivalence property test
+/// and as the baseline the `verify` bench measures the batched win against.
+pub fn verify_greedy_sequential(
+    target: &Decoder,
+    cache: &mut KvCache,
+    frontier_logits: &[f32],
+    draft: &[u32],
+) -> VerifyOutcome {
+    assert!(!draft.is_empty(), "empty draft block");
+    let base = cache.len();
+    let mut pred = argmax(frontier_logits) as u32;
+    for (i, &d) in draft.iter().enumerate() {
+        if pred != d {
+            cache.truncate(base + i);
+            return VerifyOutcome {
+                accepted: i,
+                next_token: pred,
+            };
+        }
+        let logits = target.forward_infer(&[d], cache);
+        pred = argmax(logits.row(0)) as u32;
+    }
+    cache.truncate(base + draft.len());
+    VerifyOutcome {
+        accepted: draft.len(),
+        next_token: pred,
+    }
+}
+
+/// Greedy autoregressive reference decoder: `max_new` tokens, one target
+/// forward each. This is both the correctness oracle for losslessness tests
+/// and the walltime baseline speculative decoding is measured against.
+pub fn autoregressive_greedy(target: &Decoder, prompt: &[u32], max_new: usize) -> Vec<u32> {
+    assert!(!prompt.is_empty(), "empty prompt");
+    let budget = decode_budget(target, prompt.len(), max_new);
+    let mut cache = target.new_cache();
+    let mut logits = target.forward_infer(prompt, &mut cache);
+    let mut out = Vec::with_capacity(budget);
+    while out.len() < budget {
+        let tok = Decoder::greedy_from_logits(&logits);
+        out.push(tok);
+        if out.len() == budget {
+            break;
+        }
+        logits = target.forward_infer(&[tok], &mut cache);
+    }
+    out
+}
+
+/// How many new tokens fit under the model's `max_seq` for this prompt.
+fn decode_budget(model: &Decoder, prompt_len: usize, max_new: usize) -> usize {
+    max_new.min(model.cfg.max_seq.saturating_sub(prompt_len))
+}
+
+/// The greedy draft-then-verify loop.
+///
+/// Per block: the draft proposes up to `gamma` tokens autoregressively on
+/// its own cache; [`verify_greedy`] scores them in one batched target pass;
+/// the accepted prefix plus the correction/bonus token are committed; both
+/// caches are rolled back to the committed frontier. Returns the generated
+/// tokens (identical to [`autoregressive_greedy`] on the same target) and
+/// the run's [`SpecStats`].
+pub fn speculative_greedy(
+    target: &Decoder,
+    draft: &Decoder,
+    prompt: &[u32],
+    max_new: usize,
+    gamma: usize,
+) -> (Vec<u32>, SpecStats) {
+    assert!(!prompt.is_empty(), "empty prompt");
+    assert!(gamma >= 1, "gamma must be at least 1");
+    // Respect both models' context windows; the target additionally needs
+    // room for a full in-flight draft block past the committed frontier.
+    let budget = decode_budget(target, prompt.len(), max_new).min(decode_budget(
+        draft,
+        prompt.len(),
+        max_new,
+    ));
+
+    let mut stats = SpecStats::default();
+    let mut out: Vec<u32> = Vec::with_capacity(budget);
+
+    let mut t_cache = target.new_cache();
+    let mut frontier = last_row(target.forward_infer(prompt, &mut t_cache));
+    let mut d_cache = draft.new_cache();
+    let mut d_frontier = last_row(draft.forward_infer(prompt, &mut d_cache));
+
+    while out.len() < budget {
+        let committed = t_cache.len();
+        debug_assert_eq!(committed, d_cache.len());
+        // Cap the block by the remaining token budget and by context room
+        // for the speculative extension (+1 for the commit of next_token).
+        let room = target
+            .cfg
+            .max_seq
+            .min(draft.cfg.max_seq)
+            .saturating_sub(committed + 1);
+        let g = gamma.min(budget - out.len()).min(room);
+        if g == 0 {
+            // No room to speculate: fall back to one plain decode step.
+            let tok = argmax(&frontier) as u32;
+            out.push(tok);
+            if out.len() < budget {
+                frontier = last_row(target.forward_infer(&[tok], &mut t_cache));
+            }
+            stats.blocks += 1;
+            stats.generated += 1;
+            continue;
+        }
+
+        // Draft proposes g tokens greedily on its own cache.
+        let mut proposals = Vec::with_capacity(g);
+        for _ in 0..g {
+            let tok = argmax(&d_frontier) as u32;
+            proposals.push(tok);
+            d_frontier = last_row(draft.forward_infer(&[tok], &mut d_cache));
+        }
+
+        // One batched target pass scores the whole block.
+        let outcome = verify_greedy(target, &mut t_cache, &frontier, &proposals);
+
+        stats.blocks += 1;
+        stats.drafted += g;
+        stats.accepted += outcome.accepted;
+        stats.generated += outcome.accepted + 1;
+        out.extend_from_slice(&proposals[..outcome.accepted]);
+        out.push(outcome.next_token);
+
+        // Re-sync both caches to the committed frontier and feed the
+        // correction/bonus token to obtain the next frontier logits.
+        if out.len() >= budget {
+            break;
+        }
+        frontier = last_row(target.forward_infer(&[outcome.next_token], &mut t_cache));
+        d_cache.truncate(committed + outcome.accepted);
+        d_frontier = last_row(draft.forward_infer(&[outcome.next_token], &mut d_cache));
+    }
+    out.truncate(budget);
+    (out, stats)
+}
+
+fn last_row(logits: Tensor) -> Vec<f32> {
+    logits.row(logits.rows - 1).to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aasd_nn::DecoderConfig;
+    use aasd_tensor::Rng;
+
+    fn tiny(seed: u64) -> Decoder {
+        Decoder::new(DecoderConfig::tiny(40), seed)
+    }
+
+    fn prompt(rng: &mut Rng, len: usize, vocab: usize) -> Vec<u32> {
+        (0..len).map(|_| rng.below(vocab) as u32).collect()
+    }
+
+    /// When the draft IS the target, every draft token must be accepted.
+    #[test]
+    fn self_draft_accepts_everything() {
+        let model = tiny(1);
+        let (out, stats) = speculative_greedy(&model, &model, &[3, 7, 1], 20, 5);
+        assert_eq!(out.len(), 20);
+        assert_eq!(stats.accepted, stats.drafted);
+        assert!((stats.acceptance_rate() - 1.0).abs() < 1e-9);
+        // Full acceptance means every block commits γ+1 tokens.
+        assert!(stats.block_efficiency() > 5.0 - 1e-9);
+    }
+
+    /// Batched verify must agree exactly with the sequential reference —
+    /// outcome and resulting cache state — across random drafts.
+    #[test]
+    fn batched_verify_equals_sequential() {
+        let target = tiny(2);
+        let mut rng = Rng::new(0xBEEF);
+        for _case in 0..20 {
+            let p_len = 1 + rng.below(10);
+            let p = prompt(&mut rng, p_len, 40);
+            let block_len = 1 + rng.below(6);
+            let draft_block = prompt(&mut rng, block_len, 40);
+
+            let mut c1 = target.new_cache();
+            let f1 = target.forward_infer(&p, &mut c1);
+            let f1 = f1.row(f1.rows - 1).to_vec();
+            let o1 = verify_greedy(&target, &mut c1, &f1, &draft_block);
+
+            let mut c2 = target.new_cache();
+            let f2 = target.forward_infer(&p, &mut c2);
+            let f2 = f2.row(f2.rows - 1).to_vec();
+            let o2 = verify_greedy_sequential(&target, &mut c2, &f2, &draft_block);
+
+            assert_eq!(o1, o2);
+            assert_eq!(c1.len(), c2.len());
+            assert_eq!(c1.len(), p.len() + o1.accepted);
+        }
+    }
+
+    /// Losslessness: speculative output is token-identical to the
+    /// autoregressive reference for mismatched draft/target pairs, across
+    /// seeds, γ values, and generation lengths.
+    #[test]
+    fn speculative_is_lossless_greedy() {
+        let mut rng = Rng::new(0x1055);
+        for (t_seed, d_seed) in [(10, 20), (11, 21), (12, 22)] {
+            let target = tiny(t_seed);
+            let draft = tiny(d_seed);
+            for gamma in [1, 2, 5] {
+                let p = prompt(&mut rng, 4, 40);
+                let max_new = 30;
+                let reference = autoregressive_greedy(&target, &p, max_new);
+                let (spec, stats) = speculative_greedy(&target, &draft, &p, max_new, gamma);
+                assert_eq!(
+                    spec, reference,
+                    "lossless violated: seeds=({t_seed},{d_seed}) γ={gamma}"
+                );
+                // The final block may overshoot the budget by the bonus
+                // token before truncation, so generated ≥ emitted.
+                assert!(stats.generated >= spec.len());
+                assert!(stats.generated <= spec.len() + 1);
+                assert!(stats.acceptance_rate() <= 1.0);
+            }
+        }
+    }
+
+    /// The loop must respect max_seq: a prompt near the context limit still
+    /// terminates and stays within budget.
+    #[test]
+    fn respects_context_window() {
+        let target = tiny(5);
+        let draft = tiny(6);
+        let max_seq = target.cfg.max_seq;
+        let mut rng = Rng::new(3);
+        let p = prompt(&mut rng, max_seq - 6, 40);
+        let reference = autoregressive_greedy(&target, &p, 100);
+        assert_eq!(reference.len(), 6);
+        let (out, _) = speculative_greedy(&target, &draft, &p, 100, 5);
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn gamma_one_still_lossless() {
+        let target = tiny(30);
+        let draft = tiny(31);
+        let reference = autoregressive_greedy(&target, &[1, 2], 15);
+        let (out, stats) = speculative_greedy(&target, &draft, &[1, 2], 15, 1);
+        assert_eq!(out, reference);
+        assert!(stats.blocks >= 8, "γ=1 commits at most 2 tokens per block");
+    }
+}

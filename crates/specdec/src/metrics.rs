@@ -1,0 +1,81 @@
+//! Run statistics for speculative decoding, matching the paper's metric
+//! vocabulary: acceptance rate α and block efficiency τ. Walltime speedup ω
+//! and decoding speed δ are measured by the bench harness (they depend on a
+//! clock); α and τ are clock-independent counts collected here.
+
+/// Counters accumulated over one speculative generation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpecStats {
+    /// Verify blocks executed (target forward passes for scoring).
+    pub blocks: usize,
+    /// Draft tokens proposed in total.
+    pub drafted: usize,
+    /// Draft tokens accepted by the target.
+    pub accepted: usize,
+    /// Tokens committed to the output (accepted + corrections/bonuses).
+    pub generated: usize,
+}
+
+impl SpecStats {
+    /// Acceptance rate α: fraction of drafted tokens the target accepted.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.drafted == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.drafted as f64
+        }
+    }
+
+    /// Block efficiency τ: average tokens committed per target verify pass
+    /// (≥ 1; upper-bounded by γ+1).
+    pub fn block_efficiency(&self) -> f64 {
+        if self.blocks == 0 {
+            0.0
+        } else {
+            self.generated as f64 / self.blocks as f64
+        }
+    }
+
+    /// Fold another run's counters into this one (for dataset-level means).
+    pub fn merge(&mut self, other: &SpecStats) {
+        self.blocks += other.blocks;
+        self.drafted += other.drafted;
+        self.accepted += other.accepted;
+        self.generated += other.generated;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_on_empty_stats_are_zero() {
+        let s = SpecStats::default();
+        assert_eq!(s.acceptance_rate(), 0.0);
+        assert_eq!(s.block_efficiency(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SpecStats {
+            blocks: 2,
+            drafted: 10,
+            accepted: 6,
+            generated: 8,
+        };
+        let b = SpecStats {
+            blocks: 1,
+            drafted: 5,
+            accepted: 5,
+            generated: 6,
+        };
+        a.merge(&b);
+        assert_eq!(a.blocks, 3);
+        assert_eq!(a.drafted, 15);
+        assert_eq!(a.accepted, 11);
+        assert_eq!(a.generated, 14);
+        assert!((a.acceptance_rate() - 11.0 / 15.0).abs() < 1e-12);
+        assert!((a.block_efficiency() - 14.0 / 3.0).abs() < 1e-12);
+    }
+}

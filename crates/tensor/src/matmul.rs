@@ -1,0 +1,236 @@
+//! Dense f32 matrix-multiply kernels: `C = A·B` with `A: m×k`, `B: k×n`,
+//! `C: m×n`, all row-major.
+//!
+//! Three implementations are kept on purpose:
+//!
+//! * [`matmul_naive_into`] — the textbook triple loop. It is the semantic
+//!   reference every other kernel is property-tested against, and the
+//!   baseline every bench compares to. Never "optimize" it.
+//! * [`matmul_blocked_into`] — cache-blocked i/k tiling with a contiguous
+//!   `axpy`-style inner loop that the compiler auto-vectorizes. This is the
+//!   default single-threaded kernel.
+//! * [`matmul_parallel_into`] — the blocked kernel with the rows of `C`
+//!   partitioned across `std::thread::scope` threads (one per available
+//!   core). On a 1-core host it degenerates to the blocked kernel without
+//!   spawning.
+
+/// Rows-of-A block size: keeps a tile of `C` rows hot while a `K`-panel of
+/// `B` streams through.
+const BLOCK_I: usize = 32;
+/// K-panel size: `BLOCK_K` rows of `B` (`BLOCK_K × n` floats) are re-read for
+/// every row of the `I` block, so the panel must fit comfortably in L1/L2.
+const BLOCK_K: usize = 64;
+
+#[inline]
+fn check_dims(a: &[f32], b: &[f32], c: &[f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "A must be m×k");
+    assert_eq!(b.len(), k * n, "B must be k×n");
+    assert_eq!(c.len(), m * n, "C must be m×n");
+}
+
+/// Reference kernel: straightforward `i,j,k` loops with a strided walk down
+/// each column of `B`. O(mkn) with no regard for locality.
+pub fn matmul_naive_into(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    check_dims(a, b, c, m, k, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a[i * k + kk] * b[kk * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+/// Cache-blocked kernel. The inner loop is `c_row += a[i,kk] * b_row`, a
+/// contiguous fused multiply-add over `n` floats, which auto-vectorizes and
+/// reads both operands with unit stride.
+pub fn matmul_blocked_into(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    check_dims(a, b, c, m, k, n);
+    c.fill(0.0);
+    matmul_blocked_rows(c, a, b, 0, m, k, n);
+}
+
+/// Blocked kernel over a row range `[row0, row1)` of `C`/`A`. `c` is the
+/// slice for exactly those rows (i.e. `c.len() == (row1-row0)*n`). Factored
+/// out so the parallel kernel can hand each thread a disjoint row band.
+fn matmul_blocked_rows(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    row0: usize,
+    row1: usize,
+    k: usize,
+    n: usize,
+) {
+    for i0 in (row0..row1).step_by(BLOCK_I) {
+        let i1 = (i0 + BLOCK_I).min(row1);
+        for k0 in (0..k).step_by(BLOCK_K) {
+            let k1 = (k0 + BLOCK_K).min(k);
+            for i in i0..i1 {
+                let c_row = &mut c[(i - row0) * n..(i - row0 + 1) * n];
+                let a_row = &a[i * k..(i + 1) * k];
+                for kk in k0..k1 {
+                    let aik = a_row[kk];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[kk * n..kk * n + n];
+                    for (cv, bv) in c_row.iter_mut().zip(b_row.iter()) {
+                        *cv += aik * *bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Number of worker threads the parallel kernel will use.
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Blocked kernel with the rows of `C` split across scoped threads. Falls
+/// back to the single-threaded blocked kernel when one thread suffices or
+/// the matrix is too small for spawn overhead to pay off.
+pub fn matmul_parallel_into(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    check_dims(a, b, c, m, k, n);
+    let threads = hardware_threads().min(m);
+    // ~2^20 flops is where spawning starts to win; below that, stay serial.
+    if threads <= 1 || m * k * n < 1 << 20 {
+        matmul_blocked_into(c, a, b, m, k, n);
+        return;
+    }
+    c.fill(0.0);
+    let rows_per = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest = c;
+        let mut row0 = 0usize;
+        while row0 < m {
+            let row1 = (row0 + rows_per).min(m);
+            let (band, tail) = rest.split_at_mut((row1 - row0) * n);
+            rest = tail;
+            scope.spawn(move || matmul_blocked_rows(band, a, b, row0, row1, k, n));
+            row0 = row1;
+        }
+    });
+}
+
+/// Matrix–vector product `y = A·x` (`A: m×k`, `x: k`). The incremental
+/// decode path is a chain of these; it is memory-bound (one pass over `A`).
+pub fn matvec_into(y: &mut [f32], a: &[f32], x: &[f32], m: usize, k: usize) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(x.len(), k);
+    assert_eq!(y.len(), m);
+    for (i, yi) in y.iter_mut().enumerate() {
+        let row = &a[i * k..(i + 1) * k];
+        let mut acc = 0.0f32;
+        for (av, xv) in row.iter().zip(x.iter()) {
+            acc += *av * *xv;
+        }
+        *yi = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn random_mat(rng: &mut Rng, len: usize) -> Vec<f32> {
+        (0..len).map(|_| rng.uniform(-1.0, 1.0)).collect()
+    }
+
+    fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Property sweep (proptest stand-in): over many seeded random shapes,
+    /// blocked and parallel kernels must match the naive reference.
+    #[test]
+    fn blocked_and_parallel_match_naive_on_random_shapes() {
+        let mut rng = Rng::new(0xA5D);
+        for _case in 0..60 {
+            let m = 1 + rng.below(48);
+            let k = 1 + rng.below(48);
+            let n = 1 + rng.below(48);
+            let a = random_mat(&mut rng, m * k);
+            let b = random_mat(&mut rng, k * n);
+            let mut c_ref = vec![0.0; m * n];
+            let mut c_blk = vec![0.0; m * n];
+            let mut c_par = vec![0.0; m * n];
+            matmul_naive_into(&mut c_ref, &a, &b, m, k, n);
+            matmul_blocked_into(&mut c_blk, &a, &b, m, k, n);
+            matmul_parallel_into(&mut c_par, &a, &b, m, k, n);
+            let tol = 1e-4 * k as f32;
+            assert!(
+                max_abs_diff(&c_ref, &c_blk) < tol,
+                "blocked diverged at m={m} k={k} n={n}"
+            );
+            assert!(
+                max_abs_diff(&c_ref, &c_par) < tol,
+                "parallel diverged at m={m} k={k} n={n}"
+            );
+        }
+    }
+
+    /// Shapes straddling the block boundaries (the off-by-one minefield).
+    #[test]
+    fn block_boundary_shapes() {
+        let mut rng = Rng::new(99);
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (BLOCK_I, BLOCK_K, 8),
+            (BLOCK_I + 1, BLOCK_K + 1, 7),
+            (BLOCK_I - 1, BLOCK_K - 1, 9),
+            (2 * BLOCK_I + 3, 2 * BLOCK_K + 5, 33),
+            (1, 130, 65),
+            (65, 1, 130),
+        ] {
+            let a = random_mat(&mut rng, m * k);
+            let b = random_mat(&mut rng, k * n);
+            let mut c_ref = vec![0.0; m * n];
+            let mut c_blk = vec![0.0; m * n];
+            matmul_naive_into(&mut c_ref, &a, &b, m, k, n);
+            matmul_blocked_into(&mut c_blk, &a, &b, m, k, n);
+            assert!(
+                max_abs_diff(&c_ref, &c_blk) < 1e-3,
+                "mismatch at m={m} k={k} n={n}"
+            );
+        }
+    }
+
+    /// The parallel kernel must engage its threaded path on a matrix big
+    /// enough to cross the spawn threshold and still match the reference.
+    #[test]
+    fn parallel_large_matches_naive() {
+        let mut rng = Rng::new(7);
+        let (m, k, n) = (128, 128, 128);
+        let a = random_mat(&mut rng, m * k);
+        let b = random_mat(&mut rng, k * n);
+        let mut c_ref = vec![0.0; m * n];
+        let mut c_par = vec![0.0; m * n];
+        matmul_naive_into(&mut c_ref, &a, &b, m, k, n);
+        matmul_parallel_into(&mut c_par, &a, &b, m, k, n);
+        assert!(max_abs_diff(&c_ref, &c_par) < 1e-2);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut rng = Rng::new(11);
+        let (m, k) = (37, 53);
+        let a = random_mat(&mut rng, m * k);
+        let x = random_mat(&mut rng, k);
+        let mut y = vec![0.0; m];
+        let mut y_ref = vec![0.0; m];
+        matvec_into(&mut y, &a, &x, m, k);
+        matmul_naive_into(&mut y_ref, &a, &x, m, k, 1);
+        assert!(max_abs_diff(&y, &y_ref) < 1e-4);
+    }
+}

@@ -1,0 +1,125 @@
+//! Elementwise and reduction kernels shared across the workspace.
+
+/// Numerically-stable in-place softmax over one row.
+///
+/// Fused single-temporary formulation: one pass for the max, one pass that
+/// exponentiates and accumulates the normalizer, one scale pass.
+pub fn softmax_row(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum;
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
+}
+
+/// In-place softmax over every `cols`-wide row of a row-major matrix.
+pub fn softmax_rows(data: &mut [f32], cols: usize) {
+    assert!(cols > 0 && data.len().is_multiple_of(cols));
+    for row in data.chunks_mut(cols) {
+        softmax_row(row);
+    }
+}
+
+/// Index of the maximum element; ties break toward the lower index so that
+/// greedy decoding is fully deterministic.
+pub fn argmax(row: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in row.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+/// SiLU (swish) activation: `x * sigmoid(x)`.
+#[inline]
+pub fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// `a += b` elementwise.
+pub fn add_assign(a: &mut [f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len());
+    for (av, bv) in a.iter_mut().zip(b.iter()) {
+        *av += *bv;
+    }
+}
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for (av, bv) in a.iter().zip(b.iter()) {
+        acc += *av * *bv;
+    }
+    acc
+}
+
+/// `y += s * x` (axpy).
+#[inline]
+pub fn axpy(y: &mut [f32], s: f32, x: &[f32]) {
+    debug_assert_eq!(y.len(), x.len());
+    for (yv, xv) in y.iter_mut().zip(x.iter()) {
+        *yv += s * *xv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    /// Property sweep: softmax rows sum to 1 and stay in (0, 1] for random
+    /// inputs including large magnitudes (stability check).
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut rng = Rng::new(0x50F7);
+        for _ in 0..50 {
+            let cols = 1 + rng.below(64);
+            let rows = 1 + rng.below(8);
+            let mut m: Vec<f32> = (0..rows * cols).map(|_| rng.uniform(-80.0, 80.0)).collect();
+            softmax_rows(&mut m, cols);
+            for row in m.chunks(cols) {
+                let s: f32 = row.iter().sum();
+                assert!((s - 1.0).abs() < 1e-4, "row sum {s}");
+                assert!(row.iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut a = vec![1.0f32, 2.0, 3.0];
+        let mut b = vec![1001.0f32, 1002.0, 1003.0];
+        softmax_row(&mut a);
+        softmax_row(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn argmax_breaks_ties_low() {
+        assert_eq!(argmax(&[0.5, 1.0, 1.0, 0.1]), 1);
+        assert_eq!(argmax(&[f32::NEG_INFINITY, -1.0]), 1);
+    }
+
+    #[test]
+    fn silu_known_values() {
+        assert!((silu(0.0)).abs() < 1e-7);
+        assert!((silu(20.0) - 20.0).abs() < 1e-3); // saturates to identity
+        assert!(silu(-20.0).abs() < 1e-3); // saturates to zero
+    }
+}

@@ -1,0 +1,118 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The build environment has no registry access, so instead of `rand` we use
+//! a SplitMix64 generator: tiny, fast, statistically solid for test-data and
+//! weight-init purposes, and — crucially — bit-for-bit reproducible from a
+//! `u64` seed on every platform. Every model init, dataset, and property
+//! sweep in the workspace derives from this type.
+
+/// SplitMix64 PRNG (Steele, Lea & Flood 2014).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+    /// Cached second output of the Box-Muller transform.
+    spare_normal: Option<f32>,
+}
+
+impl Rng {
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed,
+            spare_normal: None,
+        }
+    }
+
+    /// Derive an independent stream (e.g. one per layer) from this one.
+    pub fn fork(&mut self) -> Rng {
+        // Perturb with a odd constant so fork(k) != next state sequence.
+        Rng::new(self.next_u64() ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        // 24 high-quality mantissa bits.
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Uniform integer in `[0, n)`. `n` must be non-zero.
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Standard normal via Box-Muller.
+    pub fn normal(&mut self) -> f32 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Avoid ln(0).
+        let u1 = (1.0 - self.next_f32()).max(f32::MIN_POSITIVE);
+        let u2 = self.next_f32();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            let x = r.next_f32();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_moments_roughly_standard() {
+        let mut r = Rng::new(123);
+        let n = 50_000;
+        let mut sum = 0.0f64;
+        let mut sumsq = 0.0f64;
+        for _ in 0..n {
+            let z = r.normal() as f64;
+            sum += z;
+            sumsq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn fork_streams_differ() {
+        let mut a = Rng::new(1);
+        let mut f = a.fork();
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| f.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+}

@@ -1,0 +1,21 @@
+//! `aasd` — facade crate for the AASD reproduction.
+//!
+//! Re-exports the workspace subcrates so the repo-root `tests/` and
+//! `examples/` can depend on a single crate. The compute core built in PR 1:
+//!
+//! * [`tensor`] — dense f32 kernels (naive/blocked/parallel matmul, softmax,
+//!   deterministic RNG);
+//! * [`nn`] — transformer building blocks: RoPE, pre-allocated KV cache,
+//!   multi-head causal attention, SwiGLU decoder blocks, greedy sampling;
+//! * [`specdec`] — speculative decoding: batched γ-token verify, the greedy
+//!   draft-then-verify loop, autoregressive reference, α/τ metrics.
+//!
+//! Later PRs add the remaining DESIGN.md crates (autograd, mllm, data,
+//! train, core, baselines) and re-export them here.
+
+pub use aasd_nn as nn;
+pub use aasd_specdec as specdec;
+pub use aasd_tensor as tensor;
+
+/// Workspace version (all crates share it).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
