@@ -15,6 +15,14 @@ echo "==> cargo test -q"
 cargo test -q
 
 if [[ "${1:-}" != "--quick" ]]; then
+    echo "==> gradient-check suite (aasd-autograd + whole-decoder FD)"
+    cargo test -q -p aasd-autograd
+    cargo test -q -p aasd-nn whole_decoder_gradients_pass_fd_check
+
+    echo "==> distillation smoke test (train stack end-to-end)"
+    cargo test -q -p aasd-train distill_smoke_run_lowers_mean_loss
+    cargo test -q -p aasd --test distill_alpha
+
     echo "==> cargo fmt --check"
     cargo fmt --check
 

@@ -1,0 +1,68 @@
+//! Central finite-difference gradient checking.
+//!
+//! Every autograd op is validated against a symmetric finite difference of
+//! its own forward pass: rebuild the graph with one input element nudged
+//! ±ε and compare `(f⁺ − f⁻) / 2ε` to the tape gradient. The acceptance
+//! bar is relative error < 1e-2 at f32, loose enough for single-precision
+//! round-off and tight enough to catch any wrong backward formula.
+
+use crate::{Tape, VarId};
+use aasd_tensor::{Rng, Tensor};
+
+/// Relative-error tolerance for f32 central differences.
+pub const FD_TOL: f32 = 1e-2;
+
+/// Step size for the central difference (values are O(1) in the checks).
+pub const FD_EPS: f32 = 1e-2;
+
+/// Reduce an arbitrary node to a scalar via a seeded random weighted sum,
+/// so the finite-difference check is sensitive to every output element
+/// (a plain sum lets sign errors cancel).
+pub fn weighted_sum(tape: &mut Tape, id: VarId, seed: u64) -> VarId {
+    let v = tape.value(id);
+    let (rows, cols) = (v.rows, v.cols);
+    let mut rng = Rng::new(seed);
+    let w = tape.leaf(Tensor::randn(&mut rng, rows, cols, 1.0));
+    let m = tape.mul(id, w);
+    tape.sum(m)
+}
+
+/// Check the tape gradient of `build`'s scalar output with respect to every
+/// element of every leaf in `leaves`, against a central finite difference.
+/// `build` must be deterministic (it is re-invoked per perturbation) and
+/// must return a `[1, 1]` node. Panics on any element whose relative error
+/// exceeds [`FD_TOL`]; returns the worst relative error observed.
+pub fn fd_check(leaves: &[Tensor], build: &dyn Fn(&mut Tape, &[VarId]) -> VarId) -> f32 {
+    let eval = |ls: &[Tensor]| -> f32 {
+        let mut tape = Tape::new();
+        let ids: Vec<VarId> = ls.iter().map(|t| tape.leaf(t.clone())).collect();
+        let root = build(&mut tape, &ids);
+        let v = tape.value(root);
+        assert_eq!((v.rows, v.cols), (1, 1), "fd_check root must be scalar");
+        v.data[0]
+    };
+
+    let mut tape = Tape::new();
+    let ids: Vec<VarId> = leaves.iter().map(|t| tape.leaf(t.clone())).collect();
+    let root = build(&mut tape, &ids);
+    let grads = tape.backward(root);
+
+    let mut worst = 0.0f32;
+    for (li, leaf) in leaves.iter().enumerate() {
+        for e in 0..leaf.data.len() {
+            let mut plus = leaves.to_vec();
+            plus[li].data[e] += FD_EPS;
+            let mut minus = leaves.to_vec();
+            minus[li].data[e] -= FD_EPS;
+            let fd = (eval(&plus) - eval(&minus)) / (2.0 * FD_EPS);
+            let analytic = grads.get(ids[li]).map_or(0.0, |g| g.data[e]);
+            let rel = (analytic - fd).abs() / analytic.abs().max(fd.abs()).max(1.0);
+            assert!(
+                rel < FD_TOL,
+                "gradient mismatch: leaf {li} elem {e}: analytic {analytic} vs fd {fd} (rel {rel})"
+            );
+            worst = worst.max(rel);
+        }
+    }
+    worst
+}

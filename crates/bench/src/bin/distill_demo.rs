@@ -1,0 +1,73 @@
+//! End-to-end alignment demo at bench scale: distill a `bench_draft`-sized
+//! student against a frozen `bench_target` teacher and report the measured
+//! acceptance rate α of greedy speculative decoding before and after. This
+//! is the AASD thesis as a real measurement — no α is hard-coded anywhere.
+//!
+//! Usage: `cargo run --release -p aasd-bench --bin distill_demo`
+
+use aasd_nn::{Decoder, DecoderConfig};
+use aasd_specdec::measure_acceptance;
+use aasd_tensor::Rng;
+use aasd_train::{distill, Adam, DistillConfig, Schedule};
+use std::time::Instant;
+
+fn main() {
+    let (vocab, max_seq) = (64usize, 128usize);
+    let target = Decoder::new(DecoderConfig::bench_target(vocab, max_seq), 0xBEE);
+    let untrained = Decoder::new(DecoderConfig::bench_draft(vocab, max_seq), 0xDAF);
+    println!(
+        "target: {} params   draft: {} params",
+        target.n_params(),
+        untrained.n_params()
+    );
+
+    // Held-out prompts (seed stream disjoint from the distillation stream).
+    let mut rng = Rng::new(0xE7A1);
+    let prompts: Vec<Vec<u32>> = (0..4)
+        .map(|_| (0..6).map(|_| rng.below(vocab) as u32).collect())
+        .collect();
+    let (max_new, gamma) = (40, 5);
+
+    let before = measure_acceptance(&target, &untrained, &prompts, max_new, gamma);
+
+    let steps = 600;
+    let cfg = DistillConfig {
+        steps,
+        prompt_len: 4,
+        gen_len: 28,
+        schedule: Schedule::Cosine {
+            base: 5e-3,
+            floor: 5e-4,
+            total: steps,
+        },
+        // The random-weight teacher is high-entropy at this scale, so the
+        // raw distribution barely constrains its argmax; sharpen it —
+        // greedy agreement is exactly what α measures.
+        temperature: 0.2,
+        seed: 0x5EED,
+    };
+    let mut trained = untrained.clone();
+    let mut opt = Adam::new();
+    let t0 = Instant::now();
+    let losses = distill(&mut trained, &target, &mut opt, &cfg);
+    let train_s = t0.elapsed().as_secs_f64();
+    println!(
+        "distilled {steps} steps in {train_s:.1}s   KL {:.4} -> {:.4}",
+        losses[0],
+        losses.last().unwrap()
+    );
+
+    let after = measure_acceptance(&target, &trained, &prompts, max_new, gamma);
+    let (a0, a1) = (before.acceptance_rate(), after.acceptance_rate());
+    println!(
+        "alpha untrained = {a0:.4} (tau {:.3})   alpha distilled = {a1:.4} (tau {:.3})",
+        before.block_efficiency(),
+        after.block_efficiency()
+    );
+    assert_eq!(before.generated, after.generated, "uneven decode budgets");
+    assert!(
+        a1 > a0,
+        "distillation failed to raise acceptance rate: {a0:.4} -> {a1:.4}"
+    );
+    println!("OK: distilled draft strictly beats untrained draft on held-out prompts");
+}

@@ -1,7 +1,8 @@
-//! Perf-trajectory snapshot harness: runs the kernel and speculative-decode
-//! benches and writes a machine-readable JSON summary (default
-//! `BENCH_PR1.json`, override with the first CLI arg). Future perf PRs
-//! regress against this file.
+//! Perf-trajectory snapshot harness: runs the kernel, speculative-decode,
+//! and training benches and writes a machine-readable JSON summary (default
+//! `BENCH_PR2.json`, override with the first CLI arg). Future perf PRs
+//! regress against this file; the PR1 sections are kept so trajectories
+//! stay comparable.
 //!
 //! Usage: `cargo run --release -p aasd-bench --bin perf_snapshot [out.json]`
 
@@ -13,6 +14,7 @@ use aasd_specdec::{
 use aasd_tensor::{
     hardware_threads, matmul_blocked_into, matmul_naive_into, matmul_parallel_into, Rng,
 };
+use aasd_train::{teacher_probs, train_step, Adam, Example, LossSpec};
 use std::time::Instant;
 
 fn result_json(r: &BenchResult) -> String {
@@ -26,13 +28,13 @@ fn result_json(r: &BenchResult) -> String {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR1.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
     let mut sections: Vec<String> = Vec::new();
 
     sections.push(json::field(
         "meta",
         &json::object(&[
-            json::field("snapshot", &json::string("PR1")),
+            json::field("snapshot", &json::string("PR2")),
             json::field("hardware_threads", &hardware_threads().to_string()),
             json::field(
                 "note",
@@ -168,6 +170,32 @@ fn main() {
             json::field("lossless", "true"),
         ]),
     ));
+
+    // ---- training: one KL-distillation step on the draft ---------------
+    println!("\n== distillation step (forward_train + backward + Adam) ==");
+    let mut student = Decoder::new(DecoderConfig::bench_draft(vocab, 512), 0x7);
+    let mut opt = Adam::new();
+    let mut distill_items = Vec::new();
+    for seq in [16usize, 32, 64] {
+        let inputs: Vec<u32> = (0..seq).map(|_| rng.below(vocab) as u32).collect();
+        // Teacher probs precomputed so the timed region is exactly the
+        // student-side work a distillation step pays per sequence.
+        let ex = Example {
+            inputs: inputs.clone(),
+            loss: LossSpec::KlDistill {
+                teacher_probs: teacher_probs(&e2e_target, &inputs),
+            },
+        };
+        let r = bench(&format!("distill_step/seq_{seq}"), || {
+            train_step(&mut student, &ex, &mut opt, 1e-4)
+        });
+        report(&r);
+        distill_items.push(json::object(&[
+            json::field("seq", &seq.to_string()),
+            json::field("step", &result_json(&r)),
+        ]));
+    }
+    sections.push(json::field("distill_step", &json::array(&distill_items)));
 
     let doc = json::object(&sections);
     std::fs::write(&out_path, format!("{doc}\n")).expect("write snapshot");

@@ -7,6 +7,7 @@ use crate::attention::Attention;
 use crate::cache::{KvCache, LayerKv};
 use crate::layers::{Embedding, Linear, RmsNorm};
 use crate::rope::Rope;
+use aasd_autograd::{Tape, VarId};
 use aasd_tensor::{add_assign, argmax, silu, Rng, Tensor};
 
 /// Hyperparameters for a decoder-only transformer.
@@ -205,6 +206,93 @@ impl Decoder {
         argmax(logits.row(logits.rows - 1)) as u32
     }
 
+    /// Training forward: replay the full-sequence computation of
+    /// [`Decoder::forward_full`] as an autograd graph on `tape`, binding
+    /// every parameter as a leaf. Returns the `[t, vocab]` logits node and
+    /// the parameter leaf ids **in the canonical order of
+    /// [`Decoder::visit_params_mut`]**, so a trainer can walk gradients and
+    /// live weights in lockstep. The tape is fresh per step; attach a loss
+    /// (`cross_entropy` / `kl_div`) to the logits node and call `backward`.
+    pub fn forward_train(&self, tape: &mut Tape, tokens: &[u32]) -> (VarId, Vec<VarId>) {
+        assert!(!tokens.is_empty() && tokens.len() <= self.cfg.max_seq);
+        let dim = self.cfg.dim;
+        let (cos, sin) = self.rope.tables(tokens.len());
+
+        let embed = tape.leaf(self.embed.table.clone());
+        let mut params = vec![embed];
+        let mut x = tape.embed_gather(embed, tokens);
+        for block in &self.blocks {
+            let attn_gain = tape.leaf(Tensor::from_vec(block.attn_norm.gain.clone(), 1, dim));
+            let wq = tape.leaf(block.attn.wq.w.clone());
+            let wk = tape.leaf(block.attn.wk.w.clone());
+            let wv = tape.leaf(block.attn.wv.w.clone());
+            let wo = tape.leaf(block.attn.wo.w.clone());
+            let mlp_gain = tape.leaf(Tensor::from_vec(block.mlp_norm.gain.clone(), 1, dim));
+            let w1 = tape.leaf(block.mlp.w1.w.clone());
+            let w2 = tape.leaf(block.mlp.w2.w.clone());
+            let w3 = tape.leaf(block.mlp.w3.w.clone());
+            params.extend([attn_gain, wq, wk, wv, wo, mlp_gain, w1, w2, w3]);
+
+            let h = tape.rms_norm(x, attn_gain, block.attn_norm.eps);
+            let q = tape.matmul(h, wq);
+            let k = tape.matmul(h, wk);
+            let v = tape.matmul(h, wv);
+            let q = tape.rope(q, self.cfg.n_heads, cos.clone(), sin.clone());
+            let k = tape.rope(k, self.cfg.n_heads, cos.clone(), sin.clone());
+            let a = tape.causal_attention(q, k, v, self.cfg.n_heads);
+            let a = tape.matmul(a, wo);
+            x = tape.add(x, a);
+
+            let h = tape.rms_norm(x, mlp_gain, block.mlp_norm.eps);
+            let gate = tape.matmul(h, w1);
+            let up = tape.matmul(h, w3);
+            let gate = tape.silu(gate);
+            let gu = tape.mul(gate, up);
+            let m = tape.matmul(gu, w2);
+            x = tape.add(x, m);
+        }
+        let final_gain = tape.leaf(Tensor::from_vec(self.final_norm.gain.clone(), 1, dim));
+        let head = tape.leaf(self.lm_head.w.clone());
+        params.push(final_gain);
+        params.push(head);
+        let xn = tape.rms_norm(x, final_gain, self.final_norm.eps);
+        let logits = tape.matmul(xn, head);
+        (logits, params)
+    }
+
+    /// Visit every trainable parameter slice, in the **same canonical
+    /// order** as the leaf ids returned by [`Decoder::forward_train`]:
+    /// embedding table; per block `attn_norm.gain`, `wq`, `wk`, `wv`, `wo`,
+    /// `mlp_norm.gain`, `w1`, `w2`, `w3`; `final_norm.gain`; `lm_head`.
+    /// This is the update path optimizers use after `backward`.
+    pub fn visit_params_mut(&mut self, f: &mut dyn FnMut(&str, &mut [f32])) {
+        f("embed.table", &mut self.embed.table.data);
+        for (l, block) in self.blocks.iter_mut().enumerate() {
+            f(
+                &format!("blocks.{l}.attn_norm.gain"),
+                &mut block.attn_norm.gain,
+            );
+            f(&format!("blocks.{l}.attn.wq"), &mut block.attn.wq.w.data);
+            f(&format!("blocks.{l}.attn.wk"), &mut block.attn.wk.w.data);
+            f(&format!("blocks.{l}.attn.wv"), &mut block.attn.wv.w.data);
+            f(&format!("blocks.{l}.attn.wo"), &mut block.attn.wo.w.data);
+            f(
+                &format!("blocks.{l}.mlp_norm.gain"),
+                &mut block.mlp_norm.gain,
+            );
+            f(&format!("blocks.{l}.mlp.w1"), &mut block.mlp.w1.w.data);
+            f(&format!("blocks.{l}.mlp.w2"), &mut block.mlp.w2.w.data);
+            f(&format!("blocks.{l}.mlp.w3"), &mut block.mlp.w3.w.data);
+        }
+        f("final_norm.gain", &mut self.final_norm.gain);
+        f("lm_head", &mut self.lm_head.w.data);
+    }
+
+    /// Number of parameter tensors [`Decoder::visit_params_mut`] yields.
+    pub fn n_param_tensors(&self) -> usize {
+        3 + 9 * self.blocks.len()
+    }
+
     /// Parameter count (for cost accounting in benches).
     pub fn n_params(&self) -> usize {
         let e = self.embed.table.data.len();
@@ -298,6 +386,122 @@ mod tests {
         cache.truncate(keep);
         let after = model.forward_infer(&[8, 9], &mut cache);
         assert_eq!(before.data, after.data, "rollback+replay must be exact");
+    }
+
+    /// Micro config for gradient tests: every architectural feature, few
+    /// enough parameters that a full finite-difference sweep is cheap.
+    fn micro() -> DecoderConfig {
+        DecoderConfig {
+            vocab: 6,
+            dim: 4,
+            n_heads: 2,
+            n_layers: 1,
+            ff_hidden: 8,
+            max_seq: 8,
+            rope_theta: 10_000.0,
+        }
+    }
+
+    /// The tape-built training forward must reproduce the inference-path
+    /// full-sequence logits (they share every kernel).
+    #[test]
+    fn forward_train_matches_forward_full() {
+        let model = Decoder::new(DecoderConfig::tiny(30), 0x7EA1);
+        let tokens = [4u32, 9, 17, 2, 21];
+        let full = model.forward_full(&tokens);
+        let mut tape = Tape::new();
+        let (logits, _) = model.forward_train(&mut tape, &tokens);
+        let got = tape.value(logits);
+        assert_eq!((got.rows, got.cols), (full.rows, full.cols));
+        assert!(
+            max_abs_diff(&got.data, &full.data) < 1e-5,
+            "train path diverged from forward_full: {}",
+            max_abs_diff(&got.data, &full.data)
+        );
+    }
+
+    /// The leaf ids returned by `forward_train` must bind the same tensors,
+    /// in the same order, as `visit_params_mut` walks — optimizers rely on
+    /// that lockstep to map gradients back onto live weights.
+    #[test]
+    fn forward_train_leaves_match_visitor_order() {
+        let mut model = Decoder::new(micro(), 3);
+        let mut tape = Tape::new();
+        let (_, params) = model.forward_train(&mut tape, &[1, 4, 0]);
+        assert_eq!(params.len(), model.n_param_tensors());
+        let mut slot = 0;
+        model.visit_params_mut(&mut |name, p| {
+            let leaf = tape.value(params[slot]);
+            assert_eq!(leaf.data.len(), p.len(), "slot {slot} ({name}) size");
+            assert_eq!(leaf.data, p, "slot {slot} ({name}) contents");
+            slot += 1;
+        });
+        assert_eq!(slot, params.len());
+    }
+
+    /// Whole-model finite-difference gradient check: the backward pass
+    /// through the complete decoder graph (embed → blocks → head → CE loss)
+    /// agrees with central differences on every parameter element.
+    #[test]
+    fn whole_decoder_gradients_pass_fd_check() {
+        let mut model = Decoder::new(micro(), 0x6AD);
+        let tokens = [1u32, 3, 0, 5];
+        let targets = [2u32, 5, 1, 4];
+
+        let loss_of = |m: &Decoder| -> f32 {
+            let mut tape = Tape::new();
+            let (logits, _) = m.forward_train(&mut tape, &tokens);
+            let l = tape.cross_entropy(logits, &targets);
+            tape.value(l).data[0]
+        };
+        let mut tape = Tape::new();
+        let (logits, params) = model.forward_train(&mut tape, &tokens);
+        let loss = tape.cross_entropy(logits, &targets);
+        let grads = tape.backward(loss);
+
+        let sizes: Vec<usize> = {
+            let mut s = Vec::new();
+            model.visit_params_mut(&mut |_, p| s.push(p.len()));
+            s
+        };
+        let perturb = |m: &mut Decoder, slot: usize, elem: usize, delta: f32| {
+            let mut i = 0;
+            m.visit_params_mut(&mut |_, p| {
+                if i == slot {
+                    p[elem] += delta;
+                }
+                i += 1;
+            });
+        };
+        // Much smaller step than the per-op checks: the composed graph has
+        // far higher curvature (verified: fd converges quadratically to the
+        // analytic value as eps shrinks), so eps = 1e-2 leaves visible
+        // truncation error while f32 round-off is still negligible here.
+        let eps = 3e-4f32;
+        for (slot, &len) in sizes.iter().enumerate() {
+            let g = tape.value(params[slot]).data.clone();
+            assert_eq!(g.len(), len);
+            let analytic = grads
+                .get(params[slot])
+                .expect("every param reaches the loss");
+            for e in 0..len {
+                perturb(&mut model, slot, e, eps);
+                let up = loss_of(&model);
+                perturb(&mut model, slot, e, -2.0 * eps);
+                let down = loss_of(&model);
+                perturb(&mut model, slot, e, eps);
+                let fd = (up - down) / (2.0 * eps);
+                let a = analytic.data[e];
+                // Same relative-error convention as `aasd_autograd::check`:
+                // the 1.0 floor turns the bar into an absolute tolerance for
+                // sub-unit gradients, where f32 round-off dominates the fd.
+                let rel = (a - fd).abs() / a.abs().max(fd.abs()).max(1.0);
+                assert!(
+                    rel < 1e-2,
+                    "slot {slot} elem {e}: analytic {a} vs fd {fd} (rel {rel})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -27,6 +27,20 @@ impl Rope {
         Self { cos, sin, half }
     }
 
+    /// Half the head dimension (pairs rotated per position).
+    pub fn half(&self) -> usize {
+        self.half
+    }
+
+    /// Copies of the cos/sin tables for positions `0..t` (`t × half`
+    /// row-major each) — the format `aasd-autograd`'s `rope` op consumes
+    /// when the training path replays this rotation on the tape.
+    pub fn tables(&self, t: usize) -> (Vec<f32>, Vec<f32>) {
+        let n = t * self.half;
+        assert!(n <= self.cos.len(), "position range exceeds max_seq");
+        (self.cos[..n].to_vec(), self.sin[..n].to_vec())
+    }
+
     /// Rotate one head vector (`len == head_dim`, adjacent pairs) in place
     /// for absolute position `pos`.
     pub fn apply(&self, head: &mut [f32], pos: usize) {

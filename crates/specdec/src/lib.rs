@@ -49,7 +49,7 @@ pub fn verify_greedy(
 ) -> VerifyOutcome {
     assert!(!draft.is_empty(), "empty draft block");
     let base = cache.len();
-    // ONE forward for all γ tokens: γ+0 extra weight passes instead of γ.
+    // ONE forward for all γ tokens: 1 weight pass instead of γ.
     let logits = target.forward_infer(draft, cache);
 
     // Target prediction for draft[i]: frontier for i = 0, else row i-1.
@@ -112,8 +112,26 @@ pub fn verify_greedy_sequential(
 /// forward each. This is both the correctness oracle for losslessness tests
 /// and the walltime baseline speculative decoding is measured against.
 pub fn autoregressive_greedy(target: &Decoder, prompt: &[u32], max_new: usize) -> Vec<u32> {
-    assert!(!prompt.is_empty(), "empty prompt");
     let budget = decode_budget(target, prompt.len(), max_new);
+    autoregressive_greedy_with_budget(target, prompt, budget)
+}
+
+/// [`autoregressive_greedy`] with an explicit token budget instead of a
+/// `max_new` cap. The true feasible budget is `max_seq − prompt + 1` — one
+/// more than [`decode_budget`] hands out — because the final token is
+/// emitted without ever being fed back through the cache. Exposing it lets
+/// callers (and the g = 0 regression tests) drive decoding flush against
+/// the context boundary.
+pub fn autoregressive_greedy_with_budget(
+    target: &Decoder,
+    prompt: &[u32],
+    budget: usize,
+) -> Vec<u32> {
+    assert!(!prompt.is_empty(), "empty prompt");
+    assert!(
+        budget <= target.cfg.max_seq + 1 - prompt.len(),
+        "budget exceeds context window"
+    );
     let mut cache = target.new_cache();
     let mut logits = target.forward_infer(prompt, &mut cache);
     let mut out = Vec::with_capacity(budget);
@@ -128,7 +146,10 @@ pub fn autoregressive_greedy(target: &Decoder, prompt: &[u32], max_new: usize) -
     out
 }
 
-/// How many new tokens fit under the model's `max_seq` for this prompt.
+/// How many new tokens fit under the model's `max_seq` for this prompt,
+/// conservatively: every emitted token except the last could be fed back,
+/// so this stays one short of the true feasible budget (see
+/// [`autoregressive_greedy_with_budget`]).
 fn decode_budget(model: &Decoder, prompt_len: usize, max_new: usize) -> usize {
     max_new.min(model.cfg.max_seq.saturating_sub(prompt_len))
 }
@@ -148,15 +169,33 @@ pub fn speculative_greedy(
     max_new: usize,
     gamma: usize,
 ) -> (Vec<u32>, SpecStats) {
-    assert!(!prompt.is_empty(), "empty prompt");
-    assert!(gamma >= 1, "gamma must be at least 1");
-    // Respect both models' context windows; the target additionally needs
-    // room for a full in-flight draft block past the committed frontier.
+    // Respect both models' context windows.
     let budget = decode_budget(target, prompt.len(), max_new).min(decode_budget(
         draft,
         prompt.len(),
         max_new,
     ));
+    speculative_greedy_with_budget(target, draft, prompt, budget, gamma)
+}
+
+/// [`speculative_greedy`] with an explicit token budget (see
+/// [`autoregressive_greedy_with_budget`] for why the feasible budget is one
+/// more than [`decode_budget`] grants). At the extended budget the loop can
+/// reach a committed frontier with zero context room left to speculate, so
+/// this entry point is what exercises the g = 0 plain-decode fallback.
+pub fn speculative_greedy_with_budget(
+    target: &Decoder,
+    draft: &Decoder,
+    prompt: &[u32],
+    budget: usize,
+    gamma: usize,
+) -> (Vec<u32>, SpecStats) {
+    assert!(!prompt.is_empty(), "empty prompt");
+    assert!(gamma >= 1, "gamma must be at least 1");
+    assert!(
+        budget <= target.cfg.max_seq.min(draft.cfg.max_seq) + 1 - prompt.len(),
+        "budget exceeds context window"
+    );
 
     let mut stats = SpecStats::default();
     let mut out: Vec<u32> = Vec::with_capacity(budget);
@@ -179,10 +218,13 @@ pub fn speculative_greedy(
         let g = gamma.min(budget - out.len()).min(room);
         if g == 0 {
             // No room to speculate: fall back to one plain decode step.
+            // Both caches must advance, or the committed frontiers diverge
+            // and the next block verifies against a stale draft context.
             let tok = argmax(&frontier) as u32;
             out.push(tok);
             if out.len() < budget {
                 frontier = last_row(target.forward_infer(&[tok], &mut t_cache));
+                d_frontier = last_row(draft.forward_infer(&[tok], &mut d_cache));
             }
             stats.blocks += 1;
             stats.generated += 1;
@@ -202,10 +244,19 @@ pub fn speculative_greedy(
 
         stats.blocks += 1;
         stats.drafted += g;
+        // α measures draft/target alignment, so `accepted` counts every
+        // agreement, even one the budget then truncates away.
         stats.accepted += outcome.accepted;
-        stats.generated += outcome.accepted + 1;
-        out.extend_from_slice(&proposals[..outcome.accepted]);
-        out.push(outcome.next_token);
+        // `generated` counts tokens actually committed to the output: the
+        // final block is clamped to the remaining budget so the bonus/
+        // correction token is never over-counted past it. Invariant:
+        // stats.generated == out.len() at every exit.
+        let commit = (outcome.accepted + 1).min(budget - out.len());
+        stats.generated += commit;
+        out.extend_from_slice(&proposals[..commit.min(outcome.accepted)]);
+        if commit > outcome.accepted {
+            out.push(outcome.next_token);
+        }
 
         // Re-sync both caches to the committed frontier and feed the
         // correction/bonus token to obtain the next frontier logits.
@@ -216,8 +267,27 @@ pub fn speculative_greedy(
         d_cache.truncate(committed + outcome.accepted);
         d_frontier = last_row(draft.forward_infer(&[outcome.next_token], &mut d_cache));
     }
-    out.truncate(budget);
+    debug_assert_eq!(stats.generated, out.len());
     (out, stats)
+}
+
+/// Empirical acceptance-rate harness: run [`speculative_greedy`] over a set
+/// of prompts and merge the per-run [`SpecStats`] into dataset-level
+/// counters. `stats.acceptance_rate()` on the result is the α that the
+/// training stack's distillation is meant to raise.
+pub fn measure_acceptance(
+    target: &Decoder,
+    draft: &Decoder,
+    prompts: &[Vec<u32>],
+    max_new: usize,
+    gamma: usize,
+) -> SpecStats {
+    let mut total = SpecStats::default();
+    for p in prompts {
+        let (_, stats) = speculative_greedy(target, draft, p, max_new, gamma);
+        total.merge(&stats);
+    }
+    total
 }
 
 fn last_row(logits: Tensor) -> Vec<f32> {
@@ -296,10 +366,9 @@ mod tests {
                     spec, reference,
                     "lossless violated: seeds=({t_seed},{d_seed}) γ={gamma}"
                 );
-                // The final block may overshoot the budget by the bonus
-                // token before truncation, so generated ≥ emitted.
-                assert!(stats.generated >= spec.len());
-                assert!(stats.generated <= spec.len() + 1);
+                // The final block is clamped to the budget, so the
+                // committed-token counter matches the output exactly.
+                assert_eq!(stats.generated, spec.len());
                 assert!(stats.acceptance_rate() <= 1.0);
             }
         }
@@ -318,6 +387,65 @@ mod tests {
         assert_eq!(reference.len(), 6);
         let (out, _) = speculative_greedy(&target, &draft, &p, 100, 5);
         assert_eq!(out, reference);
+    }
+
+    /// At the extended budget (`max_seq − prompt + 1`) the committed
+    /// frontier runs out of speculation room mid-generation, forcing the
+    /// g = 0 plain-decode fallback *with the loop still continuing*. The
+    /// fallback must advance the draft cache in lockstep with the target —
+    /// before the fix it only advanced the target, and the lockstep
+    /// `debug_assert_eq!(committed, d_cache.len())` fires on the next pass.
+    #[test]
+    fn no_room_fallback_keeps_caches_in_lockstep() {
+        let target = tiny(40);
+        let draft = tiny(41);
+        let max_seq = target.cfg.max_seq;
+        let mut rng = Rng::new(7);
+        for prompt_len in [max_seq - 1, max_seq - 6] {
+            let p = prompt(&mut rng, prompt_len, 40);
+            let budget = max_seq + 1 - prompt_len;
+            let reference = autoregressive_greedy_with_budget(&target, &p, budget);
+            assert_eq!(reference.len(), budget);
+            let (out, stats) = speculative_greedy_with_budget(&target, &draft, &p, budget, 5);
+            assert_eq!(
+                out, reference,
+                "lossless violated at prompt_len {prompt_len}"
+            );
+            assert_eq!(stats.generated, out.len());
+        }
+    }
+
+    /// A draft block whose bonus token would overshoot the budget must be
+    /// clamped: `generated` counts only committed tokens.
+    #[test]
+    fn final_block_commit_is_clamped_to_budget() {
+        // Self-draft so every block fully accepts and commits γ+1 tokens;
+        // budget deliberately not a multiple of γ+1 so the last block
+        // truncates mid-commit.
+        let model = tiny(50);
+        for (max_new, gamma) in [(7, 3), (9, 5), (11, 2)] {
+            let (out, stats) = speculative_greedy(&model, &model, &[2, 9, 4], max_new, gamma);
+            assert_eq!(out.len(), max_new);
+            assert_eq!(stats.generated, max_new);
+            assert!(stats.block_efficiency() <= (gamma + 1) as f64 + 1e-12);
+        }
+    }
+
+    /// Dataset-level α: merging runs over several prompts keeps every
+    /// counter invariant intact.
+    #[test]
+    fn measure_acceptance_merges_runs() {
+        let target = tiny(60);
+        let draft = tiny(61);
+        let mut rng = Rng::new(9);
+        let prompts: Vec<Vec<u32>> = (0..4).map(|_| prompt(&mut rng, 5, 40)).collect();
+        let stats = measure_acceptance(&target, &draft, &prompts, 20, 4);
+        assert_eq!(stats.generated, 4 * 20);
+        assert!(stats.accepted <= stats.drafted);
+        assert!(stats.acceptance_rate() <= 1.0);
+        // Self-draft α must dominate a mismatched draft's α.
+        let self_stats = measure_acceptance(&target, &target, &prompts, 20, 4);
+        assert!(self_stats.acceptance_rate() >= stats.acceptance_rate());
     }
 
     #[test]

@@ -18,7 +18,10 @@ pub mod rng;
 pub use matmul::{
     hardware_threads, matmul_blocked_into, matmul_naive_into, matmul_parallel_into, matvec_into,
 };
-pub use ops::{add_assign, argmax, axpy, dot, silu, softmax_row, softmax_rows};
+pub use ops::{
+    add_assign, argmax, axpy, dot, log_softmax_row, log_softmax_rows, silu, softmax_row,
+    softmax_rows,
+};
 pub use rng::Rng;
 
 /// Row-major 2-D f32 matrix: `rows × cols`, `data.len() == rows * cols`.

@@ -4,11 +4,20 @@
 ///
 /// Fused single-temporary formulation: one pass for the max, one pass that
 /// exponentiates and accumulates the normalizer, one scale pass.
+///
+/// A fully-masked row (every entry `-inf`, as a causal mask can produce)
+/// falls back to the uniform distribution instead of emitting `0/0 = NaN`
+/// everywhere.
 pub fn softmax_row(row: &mut [f32]) {
     if row.is_empty() {
         return;
     }
     let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        let uniform = 1.0 / row.len() as f32;
+        row.fill(uniform);
+        return;
+    }
     let mut sum = 0.0f32;
     for v in row.iter_mut() {
         *v = (*v - max).exp();
@@ -28,9 +37,46 @@ pub fn softmax_rows(data: &mut [f32], cols: usize) {
     }
 }
 
+/// In-place log-softmax over one row (`x - logsumexp(x)`), the stable form
+/// the cross-entropy and KL losses are built on. A fully-masked row (every
+/// entry `-inf`) falls back to the uniform `-ln(n)`, mirroring
+/// [`softmax_row`].
+pub fn log_softmax_row(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        row.fill(-(row.len() as f32).ln());
+        return;
+    }
+    let sum: f32 = row.iter().map(|&v| (v - max).exp()).sum();
+    let lse = max + sum.ln();
+    for v in row.iter_mut() {
+        *v -= lse;
+    }
+}
+
+/// In-place log-softmax over every `cols`-wide row of a row-major matrix.
+pub fn log_softmax_rows(data: &mut [f32], cols: usize) {
+    assert!(cols > 0 && data.len().is_multiple_of(cols));
+    for row in data.chunks_mut(cols) {
+        log_softmax_row(row);
+    }
+}
+
 /// Index of the maximum element; ties break toward the lower index so that
 /// greedy decoding is fully deterministic.
+///
+/// NaN entries compare false against everything, so a comparison-based scan
+/// would silently skip them (and return 0 for an all-NaN row) — exactly the
+/// failure mode that turns one bad logit into undetected garbage decoding.
+/// Debug builds therefore reject NaN input outright.
 pub fn argmax(row: &[f32]) -> usize {
+    debug_assert!(
+        row.iter().all(|v| !v.is_nan()),
+        "argmax over a row containing NaN"
+    );
     let mut best = 0;
     let mut best_v = f32::NEG_INFINITY;
     for (i, &v) in row.iter().enumerate() {
@@ -114,6 +160,47 @@ mod tests {
     fn argmax_breaks_ties_low() {
         assert_eq!(argmax(&[0.5, 1.0, 1.0, 0.1]), 1);
         assert_eq!(argmax(&[f32::NEG_INFINITY, -1.0]), 1);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn argmax_rejects_nan_in_debug() {
+        argmax(&[0.1, f32::NAN, 0.3]);
+    }
+
+    #[test]
+    fn softmax_all_neg_inf_is_uniform() {
+        let mut row = vec![f32::NEG_INFINITY; 4];
+        softmax_row(&mut row);
+        for &v in &row {
+            assert!((v - 0.25).abs() < 1e-7, "expected uniform, got {v}");
+        }
+    }
+
+    #[test]
+    fn log_softmax_matches_ln_of_softmax() {
+        let mut rng = Rng::new(0x106);
+        for _ in 0..20 {
+            let n = 1 + rng.below(16);
+            let base: Vec<f32> = (0..n).map(|_| rng.uniform(-50.0, 50.0)).collect();
+            let mut p = base.clone();
+            softmax_row(&mut p);
+            let mut lp = base.clone();
+            log_softmax_row(&mut lp);
+            for (l, q) in lp.iter().zip(&p) {
+                assert!((l.exp() - q).abs() < 1e-5, "exp(logsoftmax) != softmax");
+            }
+        }
+    }
+
+    #[test]
+    fn log_softmax_all_neg_inf_is_uniform() {
+        let mut row = vec![f32::NEG_INFINITY; 8];
+        log_softmax_row(&mut row);
+        for &v in &row {
+            assert!((v + (8.0f32).ln()).abs() < 1e-6);
+        }
     }
 
     #[test]

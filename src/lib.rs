@@ -1,21 +1,28 @@
 //! `aasd` — facade crate for the AASD reproduction.
 //!
 //! Re-exports the workspace subcrates so the repo-root `tests/` and
-//! `examples/` can depend on a single crate. The compute core built in PR 1:
+//! `examples/` can depend on a single crate:
 //!
 //! * [`tensor`] — dense f32 kernels (naive/blocked/parallel matmul, softmax,
 //!   deterministic RNG);
 //! * [`nn`] — transformer building blocks: RoPE, pre-allocated KV cache,
-//!   multi-head causal attention, SwiGLU decoder blocks, greedy sampling;
+//!   multi-head causal attention, SwiGLU decoder blocks, greedy sampling,
+//!   and the tape-replayed `forward_train` path;
+//! * [`autograd`] — tape-based reverse-mode AD over `tensor`, with
+//!   finite-difference gradient checks for every op;
 //! * [`specdec`] — speculative decoding: batched γ-token verify, the greedy
-//!   draft-then-verify loop, autoregressive reference, α/τ metrics.
+//!   draft-then-verify loop, autoregressive reference, α/τ metrics;
+//! * [`train`] — optimizers, LR schedules, CE/KL losses, and the
+//!   self-data distillation loop that aligns a draft to its target.
 //!
-//! Later PRs add the remaining DESIGN.md crates (autograd, mllm, data,
-//! train, core, baselines) and re-export them here.
+//! Later PRs add the remaining DESIGN.md crates (mllm, data, core,
+//! baselines) and re-export them here.
 
+pub use aasd_autograd as autograd;
 pub use aasd_nn as nn;
 pub use aasd_specdec as specdec;
 pub use aasd_tensor as tensor;
+pub use aasd_train as train;
 
 /// Workspace version (all crates share it).
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

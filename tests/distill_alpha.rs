@@ -1,0 +1,76 @@
+//! The paper's headline claim, end to end: distilling a small draft model
+//! against a frozen target *raises the empirical acceptance rate α* of
+//! greedy speculative decoding. Nothing below hard-codes α — the draft is
+//! genuinely trained with the `aasd-train` stack and α is re-measured with
+//! the `aasd-specdec` harness on held-out prompts, so the improvement is an
+//! emergent property of the gradients being right and the loop accounting
+//! being honest.
+
+use aasd::nn::{Decoder, DecoderConfig};
+use aasd::specdec::measure_acceptance;
+use aasd::tensor::Rng;
+use aasd::train::{distill, Adam, DistillConfig, Schedule};
+
+fn draft_config(vocab: usize, max_seq: usize) -> DecoderConfig {
+    DecoderConfig {
+        vocab,
+        dim: 16,
+        n_heads: 2,
+        n_layers: 1,
+        ff_hidden: 32,
+        max_seq,
+        rope_theta: 10_000.0,
+    }
+}
+
+#[test]
+fn distilled_draft_strictly_beats_untrained_draft_alpha() {
+    let vocab = 24;
+    let target = Decoder::new(DecoderConfig::tiny(vocab), 0xA11);
+    let untrained = Decoder::new(draft_config(vocab, target.cfg.max_seq), 0xD0A);
+
+    // Held-out evaluation prompts: a different seed stream than the
+    // distillation prompts, so α is measured off the training data.
+    let mut rng = Rng::new(0xE7A1);
+    let prompts: Vec<Vec<u32>> = (0..6)
+        .map(|_| (0..5).map(|_| rng.below(vocab) as u32).collect())
+        .collect();
+    let (max_new, gamma) = (24, 4);
+
+    let before = measure_acceptance(&target, &untrained, &prompts, max_new, gamma);
+
+    let mut trained = untrained.clone();
+    let mut opt = Adam::new();
+    let cfg = DistillConfig {
+        steps: 150,
+        prompt_len: 4,
+        gen_len: 12,
+        schedule: Schedule::Cosine {
+            base: 3e-2,
+            floor: 3e-3,
+            total: 150,
+        },
+        temperature: 1.0,
+        seed: 0x5EED,
+    };
+    let losses = distill(&mut trained, &target, &mut opt, &cfg);
+    assert!(
+        losses.last().unwrap() < &losses[0],
+        "distillation loss did not drop: {} -> {}",
+        losses[0],
+        losses.last().unwrap()
+    );
+
+    let after = measure_acceptance(&target, &trained, &prompts, max_new, gamma);
+
+    // Identical decode budget on both sides, and the accounting invariant.
+    assert_eq!(before.generated, after.generated);
+    assert!(after.accepted <= after.drafted);
+
+    let (a0, a1) = (before.acceptance_rate(), after.acceptance_rate());
+    println!("alpha untrained = {a0:.4}, distilled = {a1:.4}");
+    assert!(
+        a1 > a0,
+        "distillation failed to raise acceptance rate: α {a0:.4} -> {a1:.4}"
+    );
+}

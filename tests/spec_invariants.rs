@@ -1,0 +1,94 @@
+//! Property-style sweep over the speculative decoding loop: across random
+//! target/draft pairs, γ values, budgets, and prompts (including prompts
+//! flush against the context window), every [`SpecStats`] invariant must
+//! hold and the output must stay lossless.
+
+use aasd::nn::{Decoder, DecoderConfig};
+use aasd::specdec::{autoregressive_greedy_with_budget, speculative_greedy_with_budget, SpecStats};
+use aasd::tensor::Rng;
+
+fn model(seed: u64) -> Decoder {
+    Decoder::new(DecoderConfig::tiny(32), seed)
+}
+
+fn random_prompt(rng: &mut Rng, len: usize, vocab: usize) -> Vec<u32> {
+    (0..len).map(|_| rng.below(vocab) as u32).collect()
+}
+
+fn check_invariants(stats: &SpecStats, out: &[u32], gamma: usize, case: &str) {
+    assert!(
+        stats.accepted <= stats.drafted,
+        "{case}: accepted {} > drafted {}",
+        stats.accepted,
+        stats.drafted
+    );
+    assert_eq!(
+        stats.generated,
+        out.len(),
+        "{case}: generated counter disagrees with emitted tokens"
+    );
+    assert!(
+        stats.acceptance_rate() <= 1.0 + 1e-12,
+        "{case}: α {} > 1",
+        stats.acceptance_rate()
+    );
+    assert!(
+        stats.block_efficiency() <= (gamma + 1) as f64 + 1e-12,
+        "{case}: τ {} > γ+1",
+        stats.block_efficiency()
+    );
+    if !out.is_empty() {
+        assert!(stats.blocks >= 1, "{case}: tokens emitted without a block");
+        assert!(
+            stats.block_efficiency() >= 1.0 - 1e-12,
+            "{case}: τ {} < 1",
+            stats.block_efficiency()
+        );
+    }
+}
+
+#[test]
+fn spec_stats_invariants_hold_across_random_runs() {
+    let mut rng = Rng::new(0x51AB);
+    let max_seq = DecoderConfig::tiny(32).max_seq;
+    for case_idx in 0..24 {
+        let target = model(100 + rng.below(6) as u64);
+        let draft = model(200 + rng.below(6) as u64);
+        let gamma = 1 + rng.below(6);
+
+        // Alternate between interior prompts and prompts flush against the
+        // context window, where the extended budget forces the g = 0 path.
+        let boundary = case_idx % 3 == 0;
+        let prompt_len = if boundary {
+            max_seq - 1 - rng.below(6)
+        } else {
+            1 + rng.below(20)
+        };
+        let prompt = random_prompt(&mut rng, prompt_len, 32);
+        let max_budget = max_seq + 1 - prompt_len;
+        let budget = if boundary {
+            max_budget
+        } else {
+            1 + rng.below(30.min(max_budget))
+        };
+
+        let case = format!("case {case_idx}: prompt_len={prompt_len} γ={gamma} budget={budget}");
+        let reference = autoregressive_greedy_with_budget(&target, &prompt, budget);
+        let (out, stats) = speculative_greedy_with_budget(&target, &draft, &prompt, budget, gamma);
+        assert_eq!(out, reference, "{case}: lossless violated");
+        assert_eq!(out.len(), budget, "{case}: budget not filled");
+        check_invariants(&stats, &out, gamma, &case);
+    }
+}
+
+#[test]
+fn self_draft_maximises_every_counter() {
+    let target = model(7);
+    let (out, stats) = speculative_greedy_with_budget(&target, &target, &[3, 1, 4], 25, 4);
+    check_invariants(&stats, &out, 4, "self-draft");
+    assert_eq!(
+        stats.accepted, stats.drafted,
+        "self-draft must fully accept"
+    );
+    assert!((stats.acceptance_rate() - 1.0).abs() < 1e-12);
+}
