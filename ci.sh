@@ -23,6 +23,12 @@ if [[ "${1:-}" != "--quick" ]]; then
     cargo test -q -p aasd-train distill_smoke_run_lowers_mean_loss
     cargo test -q -p aasd --test distill_alpha
 
+    echo "==> zero-allocation decode proof (counting global allocator)"
+    cargo test -q -p aasd --test zero_alloc
+
+    echo "==> perf snapshot smoke (every bench section end-to-end)"
+    cargo run --release -q -p aasd-bench --bin perf_snapshot -- /tmp/bench_smoke.json --smoke
+
     echo "==> cargo fmt --check"
     cargo fmt --check
 

@@ -4,7 +4,7 @@
 
 use aasd_bench::{bench, report};
 use aasd_nn::{Decoder, DecoderConfig};
-use aasd_tensor::Rng;
+use aasd_tensor::{Rng, Workspace};
 
 fn main() {
     let vocab = 512;
@@ -18,17 +18,24 @@ fn main() {
     );
 
     let mut rng = Rng::new(1);
+    let mut ws = Workspace::new();
+    let mut logits = vec![0.0f32; vocab];
     for ctx in [16usize, 64, 256, 512] {
         let prompt: Vec<u32> = (0..ctx).map(|_| rng.below(vocab) as u32).collect();
         // Pre-fill a cache to `ctx`; O(1) truncate rolls each sample back
         // so the timed region is purely the forward pass.
         let mut cache = model.new_cache();
         model.forward_infer(&prompt, &mut cache);
-        let r = bench(&format!("decode_step/ctx_{ctx}"), || {
+        let fused = bench(&format!("decode_step/fused/ctx_{ctx}"), || {
+            cache.truncate(ctx);
+            model.forward_infer_ws(&[7], &mut cache, &mut ws, &mut logits);
+        });
+        report(&fused);
+        let alloc = bench(&format!("decode_step/alloc/ctx_{ctx}"), || {
             cache.truncate(ctx);
             model.forward_infer(&[7], &mut cache)
         });
-        report(&r);
+        report(&alloc);
     }
 
     println!();

@@ -1,20 +1,38 @@
-//! Perf-trajectory snapshot harness: runs the kernel, speculative-decode,
+//! Perf-trajectory snapshot harness: runs the kernel, decode, speculative,
 //! and training benches and writes a machine-readable JSON summary (default
-//! `BENCH_PR2.json`, override with the first CLI arg). Future perf PRs
-//! regress against this file; the PR1 sections are kept so trajectories
+//! `BENCH_PR3.json`, override with the first CLI arg). Future perf PRs
+//! regress against this file; the PR1/PR2 sections are kept so trajectories
 //! stay comparable.
 //!
-//! Usage: `cargo run --release -p aasd-bench --bin perf_snapshot [out.json]`
+//! New in PR3:
+//! * `decode_step` measures the fused zero-allocation `forward_infer_ws`
+//!   path next to the allocating reference path it replaced;
+//! * `decode_profile` breaks a ctx-512 decode step into per-op time via the
+//!   workspace profiler;
+//! * `end_to_end` distills the draft first (the paper's alignment step) and
+//!   reports unaligned vs aligned speculative rows across a γ sweep on the
+//!   pending-token-fold loop — the aligned rows are where speculative
+//!   decoding actually beats autoregressive on this single-core box.
+//!
+//! Usage:
+//!   cargo run --release -p aasd-bench --bin perf_snapshot [out.json] [--smoke]
+//!
+//! `--smoke` shrinks sample budgets and the distillation run so CI can
+//! exercise every section in seconds (numbers are then indicative only).
 
-use aasd_bench::{bench, json, report, BenchResult};
+use aasd_bench::{bench_with_budget, json, report, BenchResult};
 use aasd_nn::{Decoder, DecoderConfig};
 use aasd_specdec::{
-    autoregressive_greedy, speculative_greedy, verify_greedy, verify_greedy_sequential,
+    autoregressive_greedy, autoregressive_greedy_with_budget_ws, speculative_greedy_with_budget_ws,
+    verify_greedy, verify_greedy_sequential,
 };
 use aasd_tensor::{
-    hardware_threads, matmul_blocked_into, matmul_naive_into, matmul_parallel_into, Rng,
+    hardware_threads, matmul_blocked_into, matmul_naive_into, matmul_parallel_into, Op, Rng,
+    Workspace,
 };
-use aasd_train::{teacher_probs, train_step, Adam, Example, LossSpec};
+use aasd_train::{
+    distill, teacher_probs, train_step, Adam, DistillConfig, Example, LossSpec, Schedule,
+};
 use std::time::Instant;
 
 fn result_json(r: &BenchResult) -> String {
@@ -25,20 +43,47 @@ fn result_json(r: &BenchResult) -> String {
     ])
 }
 
+struct Harness {
+    smoke: bool,
+    budget_ns: u64,
+    max_samples: usize,
+}
+
+impl Harness {
+    fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) -> BenchResult {
+        bench_with_budget(name, self.budget_ns, self.max_samples, &mut f)
+    }
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+    let mut out_path = "BENCH_PR3.json".to_string();
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let h = Harness {
+        smoke,
+        budget_ns: if smoke { 120_000_000 } else { 600_000_000 },
+        max_samples: if smoke { 30 } else { 200 },
+    };
     let mut sections: Vec<String> = Vec::new();
 
     sections.push(json::field(
         "meta",
         &json::object(&[
-            json::field("snapshot", &json::string("PR2")),
+            json::field("snapshot", &json::string("PR3")),
+            json::field("smoke", if smoke { "true" } else { "false" }),
             json::field("hardware_threads", &hardware_threads().to_string()),
             json::field(
                 "note",
-                &json::string("std-only harness; medians over time-budgeted samples"),
+                &json::string(
+                    "std-only harness; medians over time-budgeted samples; \
+                     decode rows use the fused zero-allocation workspace path",
+                ),
             ),
         ]),
     ));
@@ -52,13 +97,13 @@ fn main() {
         let b: Vec<f32> = (0..n * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
         let mut c = vec![0.0f32; n * n];
         let flops = 2.0 * (n as f64).powi(3);
-        let naive = bench(&format!("matmul/naive/{n}"), || {
+        let naive = h.bench(&format!("matmul/naive/{n}"), || {
             matmul_naive_into(&mut c, &a, &b, n, n, n)
         });
-        let blocked = bench(&format!("matmul/blocked/{n}"), || {
+        let blocked = h.bench(&format!("matmul/blocked/{n}"), || {
             matmul_blocked_into(&mut c, &a, &b, n, n, n)
         });
-        let parallel = bench(&format!("matmul/parallel/{n}"), || {
+        let parallel = h.bench(&format!("matmul/parallel/{n}"), || {
             matmul_parallel_into(&mut c, &a, &b, n, n, n)
         });
         for r in [&naive, &blocked, &parallel] {
@@ -82,27 +127,91 @@ fn main() {
     }
     sections.push(json::field("matmul", &json::array(&matmul_items)));
 
-    // ---- decode step vs cache length -----------------------------------
-    println!("\n== decode step vs cache length ==");
+    // ---- decode step vs cache length: fused vs allocating ---------------
+    println!("\n== decode step vs cache length (fused workspace path vs allocating) ==");
     let vocab = 512;
     let target = Decoder::new(DecoderConfig::bench_target(vocab, 1024), 0xD);
     let mut rng = Rng::new(1);
+    let mut ws = Workspace::new();
+    let mut step_logits = vec![0.0f32; vocab];
     let mut decode_items = Vec::new();
     for ctx in [16usize, 64, 256, 512] {
         let prompt: Vec<u32> = (0..ctx).map(|_| rng.below(vocab) as u32).collect();
         let mut cache = target.new_cache();
         target.forward_infer(&prompt, &mut cache);
-        let r = bench(&format!("decode_step/ctx_{ctx}"), || {
+        let fused = h.bench(&format!("decode_step/fused/ctx_{ctx}"), || {
+            cache.truncate(ctx);
+            target.forward_infer_ws(&[7], &mut cache, &mut ws, &mut step_logits);
+        });
+        let alloc = h.bench(&format!("decode_step/alloc/ctx_{ctx}"), || {
             cache.truncate(ctx);
             target.forward_infer(&[7], &mut cache)
         });
-        report(&r);
+        report(&fused);
+        report(&alloc);
         decode_items.push(json::object(&[
             json::field("ctx", &ctx.to_string()),
-            json::field("step", &result_json(&r)),
+            json::field("step", &result_json(&fused)),
+            json::field("step_alloc", &result_json(&alloc)),
+            json::field(
+                "speedup_fused_vs_alloc",
+                &json::num(alloc.median_ns / fused.median_ns),
+            ),
         ]));
     }
     sections.push(json::field("decode_step", &json::array(&decode_items)));
+
+    // ---- per-op profile of a ctx-512 decode step ------------------------
+    println!("\n== decode step per-op profile (ctx 512) ==");
+    let ctx = 512usize;
+    let prompt: Vec<u32> = (0..ctx).map(|_| rng.below(vocab) as u32).collect();
+    let mut cache = target.new_cache();
+    target.forward_infer(&prompt, &mut cache);
+    // Warm the pool before enabling the profiler so warm-up allocation
+    // noise never lands in the measured spans.
+    target.forward_infer_ws(&[7], &mut cache, &mut ws, &mut step_logits);
+    cache.truncate(ctx);
+    ws.prof.enable();
+    let prof_steps = if h.smoke { 20u64 } else { 200 };
+    for _ in 0..prof_steps {
+        cache.truncate(ctx);
+        target.forward_infer_ws(&[7], &mut cache, &mut ws, &mut step_logits);
+    }
+    ws.prof.disable();
+    let grand = ws.prof.grand_total_ns().max(1) as f64;
+    let mut prof_items = Vec::new();
+    for op in Op::ALL {
+        let ms_per_step = ws.prof.total_ns(op) as f64 / prof_steps as f64 / 1e6;
+        let share = ws.prof.total_ns(op) as f64 / grand;
+        println!(
+            "{:<12} {:>8.4} ms/step  {:>5.1}%  ({} calls/step)",
+            op.name(),
+            ms_per_step,
+            share * 100.0,
+            ws.prof.calls(op) / prof_steps
+        );
+        prof_items.push(json::object(&[
+            json::field("op", &json::string(op.name())),
+            json::field("ms_per_step", &json::num(ms_per_step)),
+            json::field("share", &json::num(share)),
+            json::field(
+                "calls_per_step",
+                &(ws.prof.calls(op) / prof_steps).to_string(),
+            ),
+        ]));
+    }
+    sections.push(json::field(
+        "decode_profile",
+        &json::object(&[
+            json::field("ctx", &ctx.to_string()),
+            json::field("steps", &prof_steps.to_string()),
+            json::field(
+                "total_ms_per_step",
+                &json::num(grand / prof_steps as f64 / 1e6),
+            ),
+            json::field("ops", &json::array(&prof_items)),
+        ]),
+    ));
 
     // ---- batched vs sequential verify ----------------------------------
     println!("\n== batched vs sequential verify ==");
@@ -116,11 +225,11 @@ fn main() {
         // Self-consistent draft block (fully accepted) so both paths do the
         // complete γ-token scoring work — see benches/verify.rs.
         let draft = autoregressive_greedy(&target, &prompt, gamma);
-        let batched = bench(&format!("verify/batched/gamma_{gamma}"), || {
+        let batched = h.bench(&format!("verify/batched/gamma_{gamma}"), || {
             cache.truncate(ctx);
             verify_greedy(&target, &mut cache, &frontier, &draft)
         });
-        let sequential = bench(&format!("verify/sequential/gamma_{gamma}"), || {
+        let sequential = h.bench(&format!("verify/sequential/gamma_{gamma}"), || {
             cache.truncate(ctx);
             verify_greedy_sequential(&target, &mut cache, &frontier, &draft)
         });
@@ -137,43 +246,126 @@ fn main() {
     }
     sections.push(json::field("verify", &json::array(&verify_items)));
 
-    // ---- end-to-end: speculative loop vs autoregressive ----------------
-    println!("\n== end-to-end greedy generation (CPU clock) ==");
-    let draft_model = Decoder::new(DecoderConfig::bench_draft(vocab, 512), 0xF);
-    let e2e_target = Decoder::new(DecoderConfig::bench_target(vocab, 512), 0xD);
-    let p: Vec<u32> = (0..32).map(|_| rng.below(vocab) as u32).collect();
-    let max_new = 64;
-    let gamma = 5;
+    // ---- end-to-end: aligned vs unaligned speculative vs autoregressive -
+    //
+    // The paper's pipeline, measured honestly on a CPU clock: distill the
+    // draft against the frozen target (the AASD alignment step), then race
+    // the fused speculative loop against the fused autoregressive loop on
+    // the same prompt. The unaligned draft rows are expected to LOSE badly
+    // (α ≈ 0 and every verify pass is wasted); the aligned rows are where
+    // speculative decoding earns its keep. Vocab is kept small so the
+    // alignment is learnable at bench scale; the target is the same
+    // `bench_target` architecture as the decode sections.
+    println!("\n== end-to-end: aligned vs unaligned speculative (fused loops) ==");
+    let e2e_vocab = 32usize;
+    let e2e_seq = 256usize;
+    let e2e_target = Decoder::new(DecoderConfig::bench_target(e2e_vocab, e2e_seq), 0xD);
+    let untrained = Decoder::new(DecoderConfig::bench_draft(e2e_vocab, e2e_seq), 0xF);
 
+    let steps = if h.smoke { 60 } else { 600 };
+    let cfg = DistillConfig {
+        steps,
+        prompt_len: 6,
+        gen_len: 56,
+        schedule: Schedule::Cosine {
+            base: 5e-3,
+            floor: 5e-4,
+            total: steps,
+        },
+        // The random-weight teacher is high-entropy; sharpening its
+        // distribution trains the draft toward greedy agreement, which is
+        // exactly what acceptance measures.
+        temperature: 0.15,
+        seed: 0x5EED,
+    };
+    let mut aligned = untrained.clone();
+    let mut opt = Adam::new();
     let t0 = Instant::now();
-    let reference = autoregressive_greedy(&e2e_target, &p, max_new);
-    let ar_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let losses = distill(&mut aligned, &e2e_target, &mut opt, &cfg);
+    println!(
+        "distilled {steps} steps in {:.1}s  (KL {:.3} -> {:.3})",
+        t0.elapsed().as_secs_f64(),
+        losses[0],
+        losses.last().unwrap()
+    );
 
-    let t0 = Instant::now();
-    let (spec, stats) = speculative_greedy(&e2e_target, &draft_model, &p, max_new, gamma);
-    let spec_ms = t0.elapsed().as_secs_f64() * 1e3;
-    assert_eq!(spec, reference, "losslessness violated in harness run");
+    let mut e2e_rng = Rng::new(0x2);
+    let e2e_prompt: Vec<u32> = (0..8).map(|_| e2e_rng.below(e2e_vocab) as u32).collect();
+    let e2e_budget = if h.smoke { 60 } else { 200 };
 
-    let alpha = stats.acceptance_rate();
-    let tau = stats.block_efficiency();
-    println!("autoregressive: {ar_ms:.1} ms   speculative: {spec_ms:.1} ms");
-    println!("alpha={alpha:.3}  tau={tau:.3}  (untrained draft; CPU compute-bound clock)");
+    let ar = h.bench("end_to_end/autoregressive", || {
+        autoregressive_greedy_with_budget_ws(&e2e_target, &e2e_prompt, e2e_budget, &mut ws)
+    });
+    report(&ar);
+    let reference =
+        autoregressive_greedy_with_budget_ws(&e2e_target, &e2e_prompt, e2e_budget, &mut ws);
+
+    let gammas: &[usize] = if h.smoke { &[3] } else { &[1, 2, 3, 5, 8] };
+    let mut e2e_rows = Vec::new();
+    for (label, draft) in [("untrained", &untrained), ("aligned", &aligned)] {
+        for &gamma in gammas {
+            let (out, stats) = speculative_greedy_with_budget_ws(
+                &e2e_target,
+                draft,
+                &e2e_prompt,
+                e2e_budget,
+                gamma,
+                &mut ws,
+            );
+            assert_eq!(out, reference, "losslessness violated: {label} γ={gamma}");
+            let spec = h.bench(&format!("end_to_end/spec/{label}/gamma_{gamma}"), || {
+                speculative_greedy_with_budget_ws(
+                    &e2e_target,
+                    draft,
+                    &e2e_prompt,
+                    e2e_budget,
+                    gamma,
+                    &mut ws,
+                )
+            });
+            let speedup = ar.median_ns / spec.median_ns;
+            println!(
+                "{label:<10} γ={gamma}:  α={:.3}  τ={:.3}  {:.1} ms vs AR {:.1} ms  -> {speedup:.2}x",
+                stats.acceptance_rate(),
+                stats.block_efficiency(),
+                spec.median_ns / 1e6,
+                ar.median_ns / 1e6,
+            );
+            e2e_rows.push(json::object(&[
+                json::field("draft", &json::string(label)),
+                json::field("gamma", &gamma.to_string()),
+                json::field("speculative", &result_json(&spec)),
+                json::field("acceptance_rate", &json::num(stats.acceptance_rate())),
+                json::field("block_efficiency", &json::num(stats.block_efficiency())),
+                json::field("speedup_vs_autoregressive", &json::num(speedup)),
+                json::field("lossless", "true"),
+            ]));
+        }
+    }
     sections.push(json::field(
         "end_to_end",
         &json::object(&[
-            json::field("max_new", &max_new.to_string()),
-            json::field("gamma", &gamma.to_string()),
-            json::field("autoregressive_ms", &json::num(ar_ms)),
-            json::field("speculative_ms", &json::num(spec_ms)),
-            json::field("acceptance_rate", &json::num(alpha)),
-            json::field("block_efficiency", &json::num(tau)),
-            json::field("lossless", "true"),
+            json::field("vocab", &e2e_vocab.to_string()),
+            json::field("prompt_len", &e2e_prompt.len().to_string()),
+            json::field("new_tokens", &e2e_budget.to_string()),
+            json::field("distill_steps", &steps.to_string()),
+            json::field("autoregressive", &result_json(&ar)),
+            json::field("rows", &json::array(&e2e_rows)),
+            json::field(
+                "note",
+                &json::string(
+                    "fused pending-token-fold loop vs fused autoregressive loop, \
+                     same target; aligned = draft distilled against the target \
+                     (self-data KL, temperature 0.15) before the race",
+                ),
+            ),
         ]),
     ));
 
     // ---- training: one KL-distillation step on the draft ---------------
     println!("\n== distillation step (forward_train + backward + Adam) ==");
     let mut student = Decoder::new(DecoderConfig::bench_draft(vocab, 512), 0x7);
+    let distill_teacher = Decoder::new(DecoderConfig::bench_target(vocab, 512), 0xD);
     let mut opt = Adam::new();
     let mut distill_items = Vec::new();
     for seq in [16usize, 32, 64] {
@@ -183,10 +375,10 @@ fn main() {
         let ex = Example {
             inputs: inputs.clone(),
             loss: LossSpec::KlDistill {
-                teacher_probs: teacher_probs(&e2e_target, &inputs),
+                teacher_probs: teacher_probs(&distill_teacher, &inputs),
             },
         };
-        let r = bench(&format!("distill_step/seq_{seq}"), || {
+        let r = h.bench(&format!("distill_step/seq_{seq}"), || {
             train_step(&mut student, &ex, &mut opt, 1e-4)
         });
         report(&r);

@@ -15,7 +15,7 @@
 use crate::cache::LayerKv;
 use crate::layers::Linear;
 use crate::rope::Rope;
-use aasd_tensor::{axpy, dot, softmax_row, Rng, Tensor};
+use aasd_tensor::{axpy, dot, softmax_row, Op, Rng, Tensor, Workspace};
 
 #[derive(Debug, Clone)]
 pub struct Attention {
@@ -87,6 +87,82 @@ impl Attention {
             }
         }
         self.wo.forward(&ctx)
+    }
+
+    /// Fused workspace path: same semantics as [`Attention::forward_infer`],
+    /// but every temporary comes from the [`Workspace`] pool and the output
+    /// projection accumulates straight into the caller's residual stream
+    /// (`resid += attn(norm_x)·Wo`), so steady-state decode touches the
+    /// allocator zero times. `norm_x` is the already-normed block `[t, dim]`.
+    ///
+    /// The score scratch is sized to the cache **capacity**, not the current
+    /// context, so the workspace sees an identical request size every step.
+    pub fn forward_infer_ws(
+        &self,
+        norm_x: &[f32],
+        t: usize,
+        rope: &Rope,
+        cache: &mut LayerKv,
+        ws: &mut Workspace,
+        resid: &mut [f32],
+    ) {
+        let dim = self.n_heads * self.head_dim;
+        debug_assert_eq!(norm_x.len(), t * dim);
+        debug_assert_eq!(resid.len(), t * dim);
+        let pos0 = cache.len();
+
+        let span = ws.prof.begin();
+        let mut q = ws.take(t * dim);
+        let mut k = ws.take(t * dim);
+        let mut v = ws.take(t * dim);
+        self.wq.forward_rows_into(norm_x, t, &mut q);
+        self.wk.forward_rows_into(norm_x, t, &mut k);
+        self.wv.forward_rows_into(norm_x, t, &mut v);
+        for i in 0..t {
+            for h in 0..self.n_heads {
+                let hs = h * self.head_dim..(h + 1) * self.head_dim;
+                rope.apply(&mut q[i * dim..][hs.clone()], pos0 + i);
+                rope.apply(&mut k[i * dim..][hs], pos0 + i);
+            }
+        }
+        for i in 0..t {
+            cache.append(&k[i * dim..(i + 1) * dim], &v[i * dim..(i + 1) * dim]);
+        }
+        ws.prof.end(span, Op::Qkv);
+
+        let scale = self.scale();
+        let mut ctx = ws.take(t * dim);
+        let mut scores = ws.take(cache.capacity());
+        for i in 0..t {
+            let ctx_len = pos0 + i + 1; // causal: positions 0..=pos0+i
+            for h in 0..self.n_heads {
+                let hs = h * self.head_dim..(h + 1) * self.head_dim;
+                let q_head = &q[i * dim..][hs.clone()];
+                let span = ws.prof.begin();
+                let scores = &mut scores[..ctx_len];
+                for (j, s) in scores.iter_mut().enumerate() {
+                    *s = dot(q_head, &cache.key(j)[hs.clone()]) * scale;
+                }
+                softmax_row(scores);
+                ws.prof.end(span, Op::AttnScore);
+                let span = ws.prof.begin();
+                let out_head = &mut ctx[i * dim..][hs.clone()];
+                for (j, &w) in scores.iter().enumerate() {
+                    axpy(out_head, w, &cache.value(j)[hs.clone()]);
+                }
+                ws.prof.end(span, Op::AttnMix);
+            }
+        }
+
+        let span = ws.prof.begin();
+        self.wo.forward_rows_acc(&ctx, t, resid);
+        ws.prof.end(span, Op::OProj);
+
+        ws.give(q);
+        ws.give(k);
+        ws.give(v);
+        ws.give(ctx);
+        ws.give(scores);
     }
 
     /// Full-sequence reference path: `x: [t, dim]` is the whole sequence at
@@ -180,6 +256,52 @@ mod tests {
                 "cached path diverged from full recompute"
             );
         }
+    }
+
+    /// The fused workspace path must agree with the allocating incremental
+    /// path (plus the explicit residual add it folds in) for every block
+    /// split, and must stop allocating once warmed up.
+    #[test]
+    fn workspace_path_matches_forward_infer() {
+        let mut rng = Rng::new(42);
+        let (dim, heads, t) = (32, 4, 13);
+        let attn = Attention::new(&mut rng, dim, heads);
+        let rope = Rope::new(64, dim / heads, 10_000.0);
+        let x = Tensor::randn(&mut rng, t, dim, 1.0);
+        let resid0 = Tensor::randn(&mut rng, t, dim, 1.0);
+
+        let mut ws = Workspace::new();
+        for splits in [vec![t], vec![1; t], vec![5, 1, 4, 3]] {
+            let mut cache_a = LayerKv::new(64, dim);
+            let mut cache_b = LayerKv::new(64, dim);
+            let mut at = 0;
+            for blk in splits {
+                let xs = Tensor::from_vec(x.data[at * dim..(at + blk) * dim].to_vec(), blk, dim);
+                let y = attn.forward_infer(&xs, &rope, &mut cache_a);
+                let mut want = resid0.data[at * dim..(at + blk) * dim].to_vec();
+                for (w, p) in want.iter_mut().zip(&y.data) {
+                    *w += p;
+                }
+
+                let mut got = resid0.data[at * dim..(at + blk) * dim].to_vec();
+                attn.forward_infer_ws(&xs.data, blk, &rope, &mut cache_b, &mut ws, &mut got);
+                assert!(
+                    max_abs_diff(&got, &want) < 1e-4,
+                    "fused attention diverged at block offset {at}"
+                );
+                at += blk;
+            }
+        }
+
+        // Steady state: decoding one token at a time must not grow the pool.
+        let mut cache = LayerKv::new(64, dim);
+        let mut resid = vec![0.0f32; dim];
+        attn.forward_infer_ws(x.row(0), 1, &rope, &mut cache, &mut ws, &mut resid);
+        let after_warmup = ws.fresh_allocs();
+        for i in 1..t {
+            attn.forward_infer_ws(x.row(i), 1, &rope, &mut cache, &mut ws, &mut resid);
+        }
+        assert_eq!(ws.fresh_allocs(), after_warmup, "steady state allocated");
     }
 
     /// Causality: the output at position i must not change when the suffix

@@ -41,6 +41,15 @@ impl LayerKv {
         self.len == 0
     }
 
+    /// Maximum number of positions this cache can hold. The fused decode
+    /// path sizes its score scratch to this (not the current length) so the
+    /// workspace request size is identical every step — a precondition for
+    /// the zero-allocation steady state.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.max_seq
+    }
+
     /// Append one position's key and value rows (each `dim` floats).
     pub fn append(&mut self, k_row: &[f32], v_row: &[f32]) {
         assert_eq!(k_row.len(), self.dim);
@@ -112,6 +121,11 @@ impl KvCache {
     /// Cached sequence length (identical across layers by construction).
     pub fn len(&self) -> usize {
         self.layers.first().map_or(0, |l| l.len())
+    }
+
+    /// Maximum sequence length (identical across layers by construction).
+    pub fn capacity(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.capacity())
     }
 
     pub fn is_empty(&self) -> bool {

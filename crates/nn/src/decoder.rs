@@ -8,7 +8,7 @@ use crate::cache::{KvCache, LayerKv};
 use crate::layers::{Embedding, Linear, RmsNorm};
 use crate::rope::Rope;
 use aasd_autograd::{Tape, VarId};
-use aasd_tensor::{add_assign, argmax, silu, Rng, Tensor};
+use aasd_tensor::{add_assign, argmax, silu, Op, Rng, Tensor, Workspace};
 
 /// Hyperparameters for a decoder-only transformer.
 #[derive(Debug, Clone)]
@@ -94,6 +94,26 @@ impl Mlp {
         }
         self.w2.forward(&gate)
     }
+
+    /// Fused workspace path: gate and up live in pooled scratch, the
+    /// `silu(gate) ⊙ up` product is written in place, and the down
+    /// projection accumulates straight into the residual stream
+    /// (`resid += mlp(norm_x)`). No intermediate tensors, no allocation.
+    pub fn forward_ws(&self, norm_x: &[f32], t: usize, ws: &mut Workspace, resid: &mut [f32]) {
+        let hidden = self.w1.w.cols;
+        let span = ws.prof.begin();
+        let mut gate = ws.take(t * hidden);
+        let mut up = ws.take(t * hidden);
+        self.w1.forward_rows_into(norm_x, t, &mut gate);
+        self.w3.forward_rows_into(norm_x, t, &mut up);
+        for (g, u) in gate.iter_mut().zip(up.iter()) {
+            *g = silu(*g) * *u;
+        }
+        self.w2.forward_rows_acc(&gate, t, resid);
+        ws.prof.end(span, Op::Mlp);
+        ws.give(gate);
+        ws.give(up);
+    }
 }
 
 /// Pre-norm decoder block: `x + attn(norm(x))`, then `x + mlp(norm(x))`.
@@ -129,6 +149,33 @@ impl DecoderBlock {
         add_assign(&mut x.data, &a.data);
         let m = self.mlp.forward(&self.mlp_norm.forward(x));
         add_assign(&mut x.data, &m.data);
+    }
+
+    /// Fused workspace path: one normed-scratch buffer serves both
+    /// sub-layers and each sub-layer accumulates into `x` directly, so the
+    /// residual stream is never copied.
+    pub fn forward_infer_ws(
+        &self,
+        x: &mut [f32],
+        t: usize,
+        rope: &Rope,
+        cache: &mut LayerKv,
+        ws: &mut Workspace,
+    ) {
+        let dim = self.attn_norm.gain.len();
+        let mut h = ws.take(t * dim);
+
+        let span = ws.prof.begin();
+        self.attn_norm.forward_into(x, t, &mut h);
+        ws.prof.end(span, Op::RmsNorm);
+        self.attn.forward_infer_ws(&h, t, rope, cache, ws, x);
+
+        let span = ws.prof.begin();
+        self.mlp_norm.forward_into(x, t, &mut h);
+        ws.prof.end(span, Op::RmsNorm);
+        self.mlp.forward_ws(&h, t, ws, x);
+
+        ws.give(h);
     }
 }
 
@@ -187,6 +234,49 @@ impl Decoder {
         }
         let x = self.final_norm.forward(&x);
         self.lm_head.forward(&x)
+    }
+
+    /// Fused zero-allocation forward: same semantics as
+    /// [`Decoder::forward_infer`], but all scratch comes from `ws` and the
+    /// `[t, vocab]` logits are written into the caller's `logits` slice.
+    /// After one warm-up call at each block size, steady-state calls perform
+    /// **zero heap allocations** (proven by `tests/zero_alloc.rs`).
+    pub fn forward_infer_ws(
+        &self,
+        tokens: &[u32],
+        cache: &mut KvCache,
+        ws: &mut Workspace,
+        logits: &mut [f32],
+    ) {
+        let t = tokens.len();
+        assert!(!tokens.is_empty(), "empty token block");
+        assert!(
+            cache.len() + t <= self.cfg.max_seq,
+            "sequence exceeds max_seq = {}",
+            self.cfg.max_seq
+        );
+        assert_eq!(logits.len(), t * self.cfg.vocab);
+
+        let mut x = ws.take(t * self.cfg.dim);
+        let span = ws.prof.begin();
+        self.embed.forward_into(tokens, &mut x);
+        ws.prof.end(span, Op::Embed);
+
+        for (block, layer) in self.blocks.iter().zip(cache.layers.iter_mut()) {
+            block.forward_infer_ws(&mut x, t, &self.rope, layer, ws);
+        }
+
+        let mut xn = ws.take(t * self.cfg.dim);
+        let span = ws.prof.begin();
+        self.final_norm.forward_into(&x, t, &mut xn);
+        ws.prof.end(span, Op::RmsNorm);
+
+        let span = ws.prof.begin();
+        self.lm_head.forward_rows_into(&xn, t, logits);
+        ws.prof.end(span, Op::LmHead);
+
+        ws.give(x);
+        ws.give(xn);
     }
 
     /// Stateless full-sequence recompute (reference path): logits for the
@@ -356,6 +446,76 @@ mod tests {
         let mut blk = pre.data.clone();
         blk.extend_from_slice(&rest.data);
         assert!(max_abs_diff(&blk, &full.data) < 2e-3);
+    }
+
+    /// The fused workspace forward must track the allocating incremental
+    /// path closely (they reassociate the residual add, hence tolerance,
+    /// not equality) across decode and block-verify shapes, and must stop
+    /// allocating in the steady state.
+    #[test]
+    fn forward_infer_ws_matches_forward_infer() {
+        let model = Decoder::new(DecoderConfig::tiny(50), 0xDEC0DE);
+        let mut rng = Rng::new(78);
+        let tokens: Vec<u32> = (0..17).map(|_| rng.below(50) as u32).collect();
+        let vocab = model.cfg.vocab;
+
+        let mut ws = Workspace::new();
+        for splits in [vec![17], vec![1; 17], vec![5, 1, 4, 3, 4]] {
+            assert_eq!(splits.iter().sum::<usize>(), tokens.len());
+            let mut cache_a = model.new_cache();
+            let mut cache_b = model.new_cache();
+            let mut at = 0;
+            for blk in splits {
+                let toks = &tokens[at..at + blk];
+                let want = model.forward_infer(toks, &mut cache_a);
+                let mut got = vec![0.0f32; blk * vocab];
+                model.forward_infer_ws(toks, &mut cache_b, &mut ws, &mut got);
+                assert!(
+                    max_abs_diff(&got, &want.data) < 1e-4,
+                    "fused decode diverged at offset {at}: {}",
+                    max_abs_diff(&got, &want.data)
+                );
+                at += blk;
+            }
+        }
+
+        // Steady-state single-token decode must not grow the pool.
+        let mut cache = model.new_cache();
+        let mut logits = vec![0.0f32; vocab];
+        model.forward_infer_ws(&tokens[..1], &mut cache, &mut ws, &mut logits);
+        let after_warmup = ws.fresh_allocs();
+        for &t in &tokens[1..] {
+            model.forward_infer_ws(&[t], &mut cache, &mut ws, &mut logits);
+        }
+        assert_eq!(ws.fresh_allocs(), after_warmup, "steady state allocated");
+    }
+
+    /// The per-op profiler carried by the workspace must attribute time to
+    /// every pipeline stage with the expected call counts.
+    #[test]
+    fn profiler_covers_every_op() {
+        let model = Decoder::new(DecoderConfig::tiny(50), 1);
+        let mut ws = Workspace::new();
+        let mut cache = model.new_cache();
+        let mut logits = vec![0.0f32; model.cfg.vocab];
+        ws.prof.enable();
+        let steps = 4u64;
+        for t in 0..steps {
+            model.forward_infer_ws(&[t as u32], &mut cache, &mut ws, &mut logits);
+        }
+        use aasd_tensor::Op;
+        assert_eq!(ws.prof.calls(Op::Embed), steps);
+        assert_eq!(ws.prof.calls(Op::LmHead), steps);
+        let layers = model.cfg.n_layers as u64;
+        assert_eq!(ws.prof.calls(Op::Qkv), steps * layers);
+        assert_eq!(ws.prof.calls(Op::OProj), steps * layers);
+        assert_eq!(ws.prof.calls(Op::Mlp), steps * layers);
+        // Two per-block norms + the final norm.
+        assert_eq!(ws.prof.calls(Op::RmsNorm), steps * (2 * layers + 1));
+        // Score/mix scopes are per head per token.
+        let heads = model.cfg.n_heads as u64;
+        assert_eq!(ws.prof.calls(Op::AttnScore), steps * layers * heads);
+        assert_eq!(ws.prof.calls(Op::AttnMix), steps * layers * heads);
     }
 
     #[test]

@@ -1,6 +1,13 @@
 //! Parameterized layers: linear projection, token embedding, RMS norm.
+//!
+//! Each layer has two forward flavours: the original allocating API
+//! (`forward`, returning a fresh [`Tensor`]) kept as the property-tested
+//! reference, and `_into`/`_acc` variants that write into caller-provided
+//! slices — the building blocks of the zero-allocation fused decode path.
 
-use aasd_tensor::{Rng, Tensor};
+use aasd_tensor::{
+    matmul_blocked_acc_into, matmul_blocked_into, vecmat_acc_into, vecmat_into, Rng, Tensor,
+};
 
 /// Bias-free linear layer. The weight is stored `[in, out]` so a batch of
 /// row vectors multiplies it directly (`x: [t, in]` → `x·W: [t, out]`) with
@@ -19,6 +26,31 @@ impl Linear {
 
     pub fn forward(&self, x: &Tensor) -> Tensor {
         x.matmul(&self.w)
+    }
+
+    /// `out = x·W` for `rows` row-vectors of `fan_in` floats, no
+    /// allocation. `rows == 1` (single-token decode) takes the unrolled
+    /// [`vecmat_into`] fast path; larger blocks use the cache-blocked
+    /// kernel. Both accumulate over the input dimension in the same order,
+    /// so the two paths agree bit-for-bit.
+    pub fn forward_rows_into(&self, x: &[f32], rows: usize, out: &mut [f32]) {
+        let (k, n) = (self.w.rows, self.w.cols);
+        if rows == 1 {
+            vecmat_into(out, x, &self.w.data, k, n);
+        } else {
+            matmul_blocked_into(out, x, &self.w.data, rows, k, n);
+        }
+    }
+
+    /// `out += x·W` — the projection with the residual-add folded in, so
+    /// the residual stream is written exactly once.
+    pub fn forward_rows_acc(&self, x: &[f32], rows: usize, out: &mut [f32]) {
+        let (k, n) = (self.w.rows, self.w.cols);
+        if rows == 1 {
+            vecmat_acc_into(out, x, &self.w.data, k, n);
+        } else {
+            matmul_blocked_acc_into(out, x, &self.w.data, rows, k, n);
+        }
     }
 }
 
@@ -39,12 +71,19 @@ impl Embedding {
     pub fn forward(&self, tokens: &[u32]) -> Tensor {
         let dim = self.table.cols;
         let mut out = Tensor::zeros(tokens.len(), dim);
-        for (i, &tok) in tokens.iter().enumerate() {
+        self.forward_into(tokens, &mut out.data);
+        out
+    }
+
+    /// Gather rows into a caller-provided `[t·dim]` slice, no allocation.
+    pub fn forward_into(&self, tokens: &[u32], out: &mut [f32]) {
+        let dim = self.table.cols;
+        assert_eq!(out.len(), tokens.len() * dim);
+        for (o_row, &tok) in out.chunks_exact_mut(dim).zip(tokens.iter()) {
             let tok = tok as usize;
             assert!(tok < self.table.rows, "token {tok} out of vocabulary");
-            out.row_mut(i).copy_from_slice(self.table.row(tok));
+            o_row.copy_from_slice(self.table.row(tok));
         }
-        out
     }
 }
 
@@ -77,6 +116,22 @@ impl RmsNorm {
         let inv = 1.0 / (ms + self.eps).sqrt();
         for (v, g) in row.iter_mut().zip(self.gain.iter()) {
             *v *= inv * *g;
+        }
+    }
+
+    /// Normalize `rows` rows of `x` into `out` in one fused pass — the
+    /// read-only input stays untouched (it is the residual stream) and
+    /// nothing is cloned. Rounding matches [`RmsNorm::forward_row`].
+    pub fn forward_into(&self, x: &[f32], rows: usize, out: &mut [f32]) {
+        let dim = self.gain.len();
+        assert_eq!(x.len(), rows * dim);
+        assert_eq!(out.len(), rows * dim);
+        for (x_row, o_row) in x.chunks_exact(dim).zip(out.chunks_exact_mut(dim)) {
+            let ms: f32 = x_row.iter().map(|v| v * v).sum::<f32>() / dim as f32;
+            let inv = 1.0 / (ms + self.eps).sqrt();
+            for ((o, v), g) in o_row.iter_mut().zip(x_row.iter()).zip(self.gain.iter()) {
+                *o = *v * (inv * *g);
+            }
         }
     }
 }
@@ -114,5 +169,50 @@ mod tests {
         let x = Tensor::randn(&mut rng, 3, 8, 1.0);
         let y = lin.forward(&x);
         assert_eq!((y.rows, y.cols), (3, 16));
+    }
+
+    /// The into-paths (t = 1 vecmat and t > 1 blocked) must match the
+    /// allocating reference exactly, and the acc variant must fold the
+    /// residual.
+    #[test]
+    fn linear_into_matches_forward() {
+        let mut rng = Rng::new(4);
+        let lin = Linear::new(&mut rng, 24, 40);
+        for rows in [1usize, 5] {
+            let x = Tensor::randn(&mut rng, rows, 24, 1.0);
+            let reference = lin.forward(&x);
+            let mut out = vec![0.0f32; rows * 40];
+            lin.forward_rows_into(&x.data, rows, &mut out);
+            assert_eq!(out, reference.data, "rows={rows}");
+
+            let resid: Vec<f32> = (0..rows * 40).map(|_| rng.normal()).collect();
+            let mut acc = resid.clone();
+            lin.forward_rows_acc(&x.data, rows, &mut acc);
+            for ((a, r), p) in acc.iter().zip(&resid).zip(&reference.data) {
+                assert!((a - (r + p)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn embedding_into_matches_forward() {
+        let mut rng = Rng::new(5);
+        let emb = Embedding::new(&mut rng, 12, 6);
+        let toks = [7u32, 0, 11, 7];
+        let reference = emb.forward(&toks);
+        let mut out = vec![0.0f32; 4 * 6];
+        emb.forward_into(&toks, &mut out);
+        assert_eq!(out, reference.data);
+    }
+
+    #[test]
+    fn rmsnorm_into_matches_forward() {
+        let mut rng = Rng::new(6);
+        let norm = RmsNorm::new(16);
+        let x = Tensor::randn(&mut rng, 3, 16, 2.0);
+        let reference = norm.forward(&x);
+        let mut out = vec![0.0f32; 3 * 16];
+        norm.forward_into(&x.data, 3, &mut out);
+        assert_eq!(out, reference.data);
     }
 }

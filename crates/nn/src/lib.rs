@@ -12,6 +12,11 @@
 //! * [`decoder`] — SwiGLU blocks and the [`decoder::Decoder`] model with
 //!   `forward_infer` (prefill / decode / batched verify) and `forward_full`
 //!   (stateless reference), both property-tested for agreement.
+//!
+//! Every inference layer additionally has a fused `_ws` variant that draws
+//! scratch from an [`aasd_tensor::Workspace`] and folds the residual adds
+//! into the output projections — `Decoder::forward_infer_ws` is the
+//! zero-allocation decode path the speculative engine and benches run on.
 
 pub mod attention;
 pub mod cache;

@@ -5,24 +5,33 @@
 //!
 //! * [`matmul`] — naive reference, cache-blocked, and thread-parallel
 //!   matrix multiply (all three kept and property-tested for equivalence;
-//!   the benches in `aasd-bench` track the gap between them);
+//!   the benches in `aasd-bench` track the gap between them), plus the
+//!   4-way-unrolled [`vecmat_into`] t = 1 decode fast path;
 //! * [`ops`] — fused softmax, argmax, SiLU, axpy/dot primitives;
 //! * [`rng`] — deterministic SplitMix64 RNG (std-only `rand` stand-in);
+//! * [`workspace`] — the grow-once scratch arena behind the
+//!   zero-allocation fused decode path;
+//! * [`profile`] — the per-op decode profiler carried by the workspace;
 //! * [`Tensor`] — a thin row-major 2-D matrix wrapper used at module
 //!   boundaries where shapes need to travel with the data.
 
 pub mod matmul;
 pub mod ops;
+pub mod profile;
 pub mod rng;
+pub mod workspace;
 
 pub use matmul::{
-    hardware_threads, matmul_blocked_into, matmul_naive_into, matmul_parallel_into, matvec_into,
+    hardware_threads, matmul_blocked_acc_into, matmul_blocked_into, matmul_naive_into,
+    matmul_parallel_into, matvec_into, vecmat_acc_into, vecmat_into,
 };
 pub use ops::{
     add_assign, argmax, axpy, dot, log_softmax_row, log_softmax_rows, silu, softmax_row,
     softmax_rows,
 };
+pub use profile::{Op, ProfSpan, Profiler};
 pub use rng::Rng;
+pub use workspace::Workspace;
 
 /// Row-major 2-D f32 matrix: `rows × cols`, `data.len() == rows * cols`.
 #[derive(Debug, Clone, PartialEq)]

@@ -52,6 +52,15 @@ pub fn matmul_blocked_into(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usi
     matmul_blocked_rows(c, a, b, 0, m, k, n);
 }
 
+/// Accumulating blocked kernel: `C += A·B`. Same loop nest as
+/// [`matmul_blocked_into`] minus the initial zero-fill, so a residual
+/// stream can serve directly as the output (the residual-add is folded into
+/// the matmul instead of being a separate pass).
+pub fn matmul_blocked_acc_into(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    check_dims(a, b, c, m, k, n);
+    matmul_blocked_rows(c, a, b, 0, m, k, n);
+}
+
 /// Blocked kernel over a row range `[row0, row1)` of `C`/`A`. `c` is the
 /// slice for exactly those rows (i.e. `c.len() == (row1-row0)*n`). Factored
 /// out so the parallel kernel can hand each thread a disjoint row band.
@@ -86,11 +95,16 @@ fn matmul_blocked_rows(
     }
 }
 
-/// Number of worker threads the parallel kernel will use.
+/// Number of worker threads the parallel kernel will use. Cached in a
+/// `OnceLock`: `available_parallelism` is a syscall, and this is queried on
+/// every [`matmul_parallel_into`] call in the decode hot loop.
 pub fn hardware_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static HW_THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *HW_THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Blocked kernel with the rows of `C` split across scoped threads. Falls
@@ -132,6 +146,54 @@ pub fn matvec_into(y: &mut [f32], a: &[f32], x: &[f32], m: usize, k: usize) {
             acc += *av * *xv;
         }
         *yi = acc;
+    }
+}
+
+/// Row-vector–matrix product `y = x·W` (`x: k`, `W: k×n` row-major) — the
+/// t = 1 decode fast path for `Linear` layers, whose weights are stored
+/// `[in, out]`. The product is a sum of scaled rows of `W`, so the kernel
+/// is a 4-way-unrolled axpy sweep: four weight rows stream per pass,
+/// quartering the load/store traffic on `y` that dominates this
+/// memory-bound shape. Accumulation order over `kk` is identical to the
+/// blocked kernel's, so t = 1 and t > 1 paths agree bit-for-bit.
+pub fn vecmat_into(y: &mut [f32], x: &[f32], w: &[f32], k: usize, n: usize) {
+    y.fill(0.0);
+    vecmat_acc_into(y, x, w, k, n);
+}
+
+/// Accumulating variant: `y += x·W`. Writing the residual stream directly
+/// as `y` folds the residual-add into the projection (no separate pass).
+pub fn vecmat_acc_into(y: &mut [f32], x: &[f32], w: &[f32], k: usize, n: usize) {
+    assert_eq!(x.len(), k, "x must have k entries");
+    assert_eq!(w.len(), k * n, "W must be k×n");
+    assert_eq!(y.len(), n, "y must have n entries");
+    let mut kk = 0;
+    while kk + 4 <= k {
+        let (a0, a1, a2, a3) = (x[kk], x[kk + 1], x[kk + 2], x[kk + 3]);
+        let (w0, rest) = w[kk * n..].split_at(n);
+        let (w1, rest) = rest.split_at(n);
+        let (w2, rest) = rest.split_at(n);
+        let w3 = &rest[..n];
+        for ((((yv, v0), v1), v2), v3) in y
+            .iter_mut()
+            .zip(w0.iter())
+            .zip(w1.iter())
+            .zip(w2.iter())
+            .zip(w3.iter())
+        {
+            // Left-associated adds: the same rounding sequence as four
+            // separate axpy passes (what the blocked kernel performs).
+            *yv = *yv + a0 * *v0 + a1 * *v1 + a2 * *v2 + a3 * *v3;
+        }
+        kk += 4;
+    }
+    while kk < k {
+        let a = x[kk];
+        let w_row = &w[kk * n..kk * n + n];
+        for (yv, wv) in y.iter_mut().zip(w_row.iter()) {
+            *yv += a * *wv;
+        }
+        kk += 1;
     }
 }
 
@@ -219,6 +281,58 @@ mod tests {
         matmul_naive_into(&mut c_ref, &a, &b, m, k, n);
         matmul_parallel_into(&mut c_par, &a, &b, m, k, n);
         assert!(max_abs_diff(&c_ref, &c_par) < 1e-2);
+    }
+
+    /// The unrolled t = 1 fast path must agree **bitwise** with the blocked
+    /// kernel it replaces (both accumulate over k in the same order), so
+    /// switching a Linear between the two paths cannot move any logit.
+    #[test]
+    fn vecmat_is_bitwise_equal_to_blocked() {
+        let mut rng = Rng::new(0x7EC);
+        for &(k, n) in &[(1, 1), (3, 5), (4, 8), (7, 33), (64, 64), (130, 65)] {
+            let x = random_mat(&mut rng, k);
+            let w = random_mat(&mut rng, k * n);
+            let mut y = vec![0.0; n];
+            let mut y_blk = vec![0.0; n];
+            vecmat_into(&mut y, &x, &w, k, n);
+            matmul_blocked_into(&mut y_blk, &x, &w, 1, k, n);
+            assert_eq!(y, y_blk, "vecmat diverged at k={k} n={n}");
+        }
+    }
+
+    /// Accumulating vecmat: starting from a non-zero y must equal the
+    /// separate product-then-add sequence (residual-fold correctness).
+    #[test]
+    fn vecmat_acc_folds_residual() {
+        let mut rng = Rng::new(0x7EC2);
+        let (k, n) = (37, 53);
+        let x = random_mat(&mut rng, k);
+        let w = random_mat(&mut rng, k * n);
+        let resid = random_mat(&mut rng, n);
+        let mut y = resid.clone();
+        vecmat_acc_into(&mut y, &x, &w, k, n);
+        let mut prod = vec![0.0; n];
+        vecmat_into(&mut prod, &x, &w, k, n);
+        let manual: Vec<f32> = resid.iter().zip(&prod).map(|(r, p)| r + p).collect();
+        // Not bitwise: folding reassociates (resid + Σ) vs Σ-then-add.
+        assert!(max_abs_diff(&y, &manual) < 1e-5);
+    }
+
+    /// `matmul_blocked_acc_into` is the blocked kernel minus the zero-fill.
+    #[test]
+    fn blocked_acc_adds_onto_existing_c() {
+        let mut rng = Rng::new(0x7EC3);
+        let (m, k, n) = (5, 40, 9);
+        let a = random_mat(&mut rng, m * k);
+        let b = random_mat(&mut rng, k * n);
+        let base = random_mat(&mut rng, m * n);
+        let mut c = base.clone();
+        matmul_blocked_acc_into(&mut c, &a, &b, m, k, n);
+        let mut prod = vec![0.0; m * n];
+        matmul_blocked_into(&mut prod, &a, &b, m, k, n);
+        for ((cv, bv), pv) in c.iter().zip(&base).zip(&prod) {
+            assert!((cv - (bv + pv)).abs() < 1e-4);
+        }
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Reusable scratch arena for the zero-allocation decode path.
+//!
+//! Every incremental forward pass needs the same family of temporaries
+//! (normed activations, Q/K/V rows, attention scores, MLP hidden buffers,
+//! logits). Allocating them per step pays the allocator on every token; the
+//! [`Workspace`] instead keeps a pool of previously-used buffers and hands
+//! them out by **best fit**: `take(len)` returns the smallest pooled buffer
+//! whose capacity covers `len`, and only allocates when nothing fits. A
+//! steady-state decode loop requests the same sizes every step, so after
+//! the first (warm-up) step every request is served from the pool and the
+//! step performs **zero heap allocations** — proven by the counting-
+//! allocator test at the repo root (`tests/zero_alloc.rs`).
+//!
+//! Ownership doubles as the borrow check: `take` moves the buffer out of
+//! the pool, so two live scratch buffers can never alias; `give` moves it
+//! back when the caller is done. A buffer that is never given back is not
+//! unsafe — the pool simply re-grows once on the next request.
+//!
+//! The workspace also carries the decode [`Profiler`] so the fused forward
+//! passes need only one context parameter threaded through every layer.
+
+use crate::profile::Profiler;
+
+/// Grow-once scratch-buffer pool + decode profiler.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    free: Vec<Vec<f32>>,
+    fresh_allocs: usize,
+    /// Per-op decode profiler (disabled by default; see [`Profiler`]).
+    pub prof: Profiler,
+}
+
+impl Workspace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Borrow a zeroed buffer of exactly `len` elements. Best-fit from the
+    /// pool; allocates (and counts it in [`Workspace::fresh_allocs`]) only
+    /// when no pooled buffer has the capacity.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        let mut best: Option<usize> = None;
+        for (i, buf) in self.free.iter().enumerate() {
+            if buf.capacity() >= len
+                && best.is_none_or(|j| buf.capacity() < self.free[j].capacity())
+            {
+                best = Some(i);
+            }
+        }
+        let mut buf = match best {
+            Some(i) => self.free.swap_remove(i),
+            None => {
+                self.fresh_allocs += 1;
+                Vec::with_capacity(len)
+            }
+        };
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Return a buffer to the pool for reuse.
+    pub fn give(&mut self, buf: Vec<f32>) {
+        // Keep the pool's own spine from reallocating in the steady state:
+        // grow it in chunks, ahead of demand.
+        if self.free.len() == self.free.capacity() {
+            self.free.reserve(16);
+        }
+        self.free.push(buf);
+    }
+
+    /// Number of buffers currently pooled (diagnostics).
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Fresh heap allocations performed so far. In a steady-state loop this
+    /// stops increasing after the warm-up pass — the property the
+    /// zero-allocation test pins down at the allocator level.
+    pub fn fresh_allocs(&self) -> usize {
+        self.fresh_allocs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_zeroes_and_sizes() {
+        let mut ws = Workspace::new();
+        let mut a = ws.take(8);
+        assert_eq!(a.len(), 8);
+        assert!(a.iter().all(|&v| v == 0.0));
+        a.fill(3.0);
+        ws.give(a);
+        let b = ws.take(8);
+        assert!(b.iter().all(|&v| v == 0.0), "reused buffer must be zeroed");
+    }
+
+    #[test]
+    fn steady_state_requests_stop_allocating() {
+        let mut ws = Workspace::new();
+        // Warm-up: the working set is {16, 64, 256}.
+        for _ in 0..2 {
+            let a = ws.take(256);
+            let b = ws.take(16);
+            let c = ws.take(64);
+            ws.give(b);
+            ws.give(a);
+            ws.give(c);
+        }
+        let after_warmup = ws.fresh_allocs();
+        for _ in 0..50 {
+            let a = ws.take(64);
+            let b = ws.take(256);
+            let c = ws.take(16);
+            ws.give(a);
+            ws.give(c);
+            ws.give(b);
+        }
+        assert_eq!(
+            ws.fresh_allocs(),
+            after_warmup,
+            "steady-state take/give must be allocation-free"
+        );
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_adequate_buffer() {
+        let mut ws = Workspace::new();
+        let big = ws.take(1024);
+        let small = ws.take(32);
+        ws.give(big);
+        ws.give(small);
+        let got = ws.take(16);
+        assert!(
+            got.capacity() < 1024,
+            "best fit must not burn the big buffer on a small request"
+        );
+        ws.give(got);
+        let got = ws.take(512);
+        assert!(got.capacity() >= 1024, "only the big buffer fits 512");
+    }
+
+    #[test]
+    fn unfit_request_allocates_fresh() {
+        let mut ws = Workspace::new();
+        let a = ws.take(8);
+        ws.give(a);
+        assert_eq!(ws.fresh_allocs(), 1);
+        let b = ws.take(1000);
+        assert_eq!(b.len(), 1000);
+        assert_eq!(ws.fresh_allocs(), 2);
+    }
+}

@@ -30,8 +30,8 @@ pub use schedule::Schedule;
 
 use aasd_autograd::{Tape, VarId};
 use aasd_nn::Decoder;
-use aasd_specdec::autoregressive_greedy;
-use aasd_tensor::{softmax_rows, Rng, Tensor};
+use aasd_specdec::autoregressive_greedy_with_budget_ws;
+use aasd_tensor::{softmax_rows, Rng, Tensor, Workspace};
 
 /// What loss to attach to the `[t, vocab]` logits node of one example.
 #[derive(Debug, Clone)]
@@ -212,11 +212,15 @@ pub fn distill(
     assert!(cfg.prompt_len >= 1 && cfg.prompt_len < max_seq);
     let mut rng = Rng::new(cfg.seed);
     let schedule = cfg.schedule.clone();
+    // Teacher rollouts dominate each step's wall-clock; run them on the
+    // fused zero-allocation decode path (token-identical to the reference).
+    let mut ws = Workspace::new();
+    let budget = cfg.gen_len.min(max_seq - cfg.prompt_len);
     let mut make = |_step: usize| -> Example {
         let prompt: Vec<u32> = (0..cfg.prompt_len)
             .map(|_| rng.below(vocab) as u32)
             .collect();
-        let gen = autoregressive_greedy(target, &prompt, cfg.gen_len.min(max_seq - cfg.prompt_len));
+        let gen = autoregressive_greedy_with_budget_ws(target, &prompt, budget, &mut ws);
         let mut inputs = prompt;
         inputs.extend_from_slice(&gen);
         inputs.truncate(max_seq);
