@@ -26,7 +26,12 @@ if [[ "${1:-}" != "--quick" ]]; then
     echo "==> zero-allocation decode proof (counting global allocator)"
     cargo test -q -p aasd --test zero_alloc
 
-    echo "==> perf snapshot smoke (every bench section end-to-end)"
+    echo "==> multimodal stack (LlavaSim + projector + hybrid-cache verify)"
+    cargo test -q -p aasd-mm
+    cargo test -q -p aasd --test mm_lossless
+    cargo test -q -p aasd --test kv_boundary
+
+    echo "==> perf snapshot smoke (every bench section incl. multimodal)"
     cargo run --release -q -p aasd-bench --bin perf_snapshot -- /tmp/bench_smoke.json --smoke
 
     echo "==> cargo fmt --check"

@@ -11,10 +11,12 @@
 //! The op set is exactly what training a decoder-only transformer needs:
 //! `matmul`, `add`, `mul`, `scale`, `sum`, `embed_gather`, `silu`,
 //! `rms_norm`, `softmax`/`log_softmax`, the `cross_entropy` and `kl_div`
-//! losses, plus two fused sequence ops — `rope` (rotary embedding, backward
-//! is the inverse rotation) and `causal_attention` (multi-head causal
-//! softmax attention in one node, flash-style: the probability matrices are
-//! recomputed in backward instead of stored).
+//! losses, plus the fused sequence ops — `rope` (rotary embedding, backward
+//! is the inverse rotation), `causal_attention` (multi-head causal softmax
+//! attention in one node, flash-style: the probability matrices are
+//! recomputed in backward instead of stored), and its generalization
+//! `prefix_causal_attention` + `concat_rows`, which let the multimodal
+//! hybrid-cache draft train end-to-end over a gradient-carrying KV prefix.
 //!
 //! Every op is validated by a central finite-difference gradient check
 //! ([`check::fd_check`]) in this crate's tests; `aasd-nn` additionally
@@ -76,6 +78,22 @@ enum Op {
         k: VarId,
         v: VarId,
         n_heads: usize,
+    },
+    /// Row-stack `a` (`[p, d]`) on top of `b` (`[t, d]`) → `[p+t, d]`.
+    /// Backward splits the gradient. Used to build the hybrid draft cache
+    /// `[projected vision KV ∥ text KV]` on the tape.
+    ConcatRows(VarId, VarId),
+    /// Causal attention with a `prefix`-row always-visible prefix: `q` is
+    /// `[t, dim]`, `k`/`v` are `[prefix+t, dim]`; query `i` attends over
+    /// key rows `0..=prefix+i`. With `prefix = 0` this is exactly
+    /// [`Op::CausalAttention`]. This is the training-time mirror of a draft
+    /// decoding over a pre-seeded KV cache.
+    PrefixCausalAttention {
+        q: VarId,
+        k: VarId,
+        v: VarId,
+        n_heads: usize,
+        prefix: usize,
     },
 }
 
@@ -340,11 +358,67 @@ impl Tape {
             let qh = gather_head(tq, h, head_dim);
             let kh = gather_head(tk, h, head_dim);
             let vh = gather_head(tv, h, head_dim);
-            let p = causal_probs(&qh, &kh, head_dim);
+            let p = prefix_causal_probs(&qh, &kh, head_dim, 0);
             let oh = p.matmul(&vh);
             scatter_head(&mut value, &oh, h, head_dim);
         }
         self.push(Op::CausalAttention { q, k, v, n_heads }, value)
+    }
+
+    /// Row-stack `a` (`[p, d]`) on top of `b` (`[t, d]`) → `[p+t, d]`.
+    pub fn concat_rows(&mut self, a: VarId, b: VarId) -> VarId {
+        let (ta, tb) = (self.value(a), self.value(b));
+        assert_eq!(ta.cols, tb.cols, "concat_rows width mismatch");
+        let mut data = ta.data.clone();
+        data.extend_from_slice(&tb.data);
+        let value = Tensor::from_vec(data, ta.rows + tb.rows, ta.cols);
+        self.push(Op::ConcatRows(a, b), value)
+    }
+
+    /// Multi-head attention where every query also sees a `prefix`-row
+    /// always-visible prefix: `q` is `[t, dim]`, `k`/`v` are
+    /// `[prefix+t, dim]` (prefix rows first), and query `i` attends over
+    /// key rows `0..=prefix+i` with `1/sqrt(head_dim)` scaling. The last
+    /// `t` rows of `k`/`v` behave exactly like causal self-attention.
+    ///
+    /// This is the training-time mirror of decoding over a pre-seeded KV
+    /// cache: the prefix rows (projected vision KV in the AASD hybrid
+    /// cache) receive gradients, which is what makes the `KvProjector`
+    /// trainable end-to-end.
+    pub fn prefix_causal_attention(
+        &mut self,
+        q: VarId,
+        k: VarId,
+        v: VarId,
+        n_heads: usize,
+        prefix: usize,
+    ) -> VarId {
+        let (tq, tk, tv) = (self.value(q), self.value(k), self.value(v));
+        assert_eq!((tk.rows, tk.cols), (tv.rows, tv.cols), "k/v shape mismatch");
+        assert_eq!(tq.cols, tk.cols, "q/k width mismatch");
+        assert_eq!(tk.rows, prefix + tq.rows, "k must have prefix+t rows");
+        let head_dim = tq.cols / n_heads;
+        assert_eq!(head_dim * n_heads, tq.cols, "dim must divide into heads");
+        let t = tq.rows;
+        let mut value = Tensor::zeros(t, tq.cols);
+        for h in 0..n_heads {
+            let qh = gather_head(tq, h, head_dim);
+            let kh = gather_head(tk, h, head_dim);
+            let vh = gather_head(tv, h, head_dim);
+            let p = prefix_causal_probs(&qh, &kh, head_dim, prefix);
+            let oh = p.matmul(&vh);
+            scatter_head(&mut value, &oh, h, head_dim);
+        }
+        self.push(
+            Op::PrefixCausalAttention {
+                q,
+                k,
+                v,
+                n_heads,
+                prefix,
+            },
+            value,
+        )
     }
 
     /// Reverse-mode sweep from a scalar `root` (`[1, 1]`): the single
@@ -497,11 +571,39 @@ impl Tape {
                     accumulate(&mut grads[*x], da);
                 }
                 Op::CausalAttention { q, k, v, n_heads } => {
-                    let (dq, dk, dv) = causal_attention_backward(
+                    let (dq, dk, dv) = attention_backward(
                         self.value(*q),
                         self.value(*k),
                         self.value(*v),
                         *n_heads,
+                        0,
+                        &g,
+                    );
+                    accumulate(&mut grads[*q], dq);
+                    accumulate(&mut grads[*k], dk);
+                    accumulate(&mut grads[*v], dv);
+                }
+                Op::ConcatRows(a, b) => {
+                    let p = self.value(*a).rows;
+                    let cols = g.cols;
+                    let da = Tensor::from_vec(g.data[..p * cols].to_vec(), p, cols);
+                    let db = Tensor::from_vec(g.data[p * cols..].to_vec(), g.rows - p, cols);
+                    accumulate(&mut grads[*a], da);
+                    accumulate(&mut grads[*b], db);
+                }
+                Op::PrefixCausalAttention {
+                    q,
+                    k,
+                    v,
+                    n_heads,
+                    prefix,
+                } => {
+                    let (dq, dk, dv) = attention_backward(
+                        self.value(*q),
+                        self.value(*k),
+                        self.value(*v),
+                        *n_heads,
+                        *prefix,
                         &g,
                     );
                     accumulate(&mut grads[*q], dq);
@@ -539,14 +641,15 @@ fn scatter_head(dst: &mut Tensor, src: &Tensor, h: usize, head_dim: usize) {
     }
 }
 
-/// Causal softmax probability matrix `[t, t]` for one head.
-fn causal_probs(qh: &Tensor, kh: &Tensor, head_dim: usize) -> Tensor {
+/// Softmax probability matrix `[tq, prefix+tq]` for one head: query `i`
+/// sees key columns `0..=prefix+i`. `prefix = 0` is plain causal attention.
+fn prefix_causal_probs(qh: &Tensor, kh: &Tensor, head_dim: usize, prefix: usize) -> Tensor {
     let scale = 1.0 / (head_dim as f32).sqrt();
     let mut s = qh.matmul_transposed(kh);
     for i in 0..s.rows {
         let row = s.row_mut(i);
         for (j, sv) in row.iter_mut().enumerate() {
-            if j > i {
+            if j > prefix + i {
                 *sv = f32::NEG_INFINITY;
             } else {
                 *sv *= scale;
@@ -557,13 +660,15 @@ fn causal_probs(qh: &Tensor, kh: &Tensor, head_dim: usize) -> Tensor {
     s
 }
 
-/// Backward of the fused causal attention op. The probability matrices are
-/// recomputed per head (flash-style) rather than saved on the tape.
-fn causal_attention_backward(
+/// Backward of the fused (prefix-)causal attention ops. The probability
+/// matrices are recomputed per head (flash-style) rather than saved on the
+/// tape. Shapes: `q` is `[t, dim]`, `k`/`v` are `[prefix+t, dim]`.
+fn attention_backward(
     q: &Tensor,
     k: &Tensor,
     v: &Tensor,
     n_heads: usize,
+    prefix: usize,
     g: &Tensor,
 ) -> (Tensor, Tensor, Tensor) {
     let head_dim = q.cols / n_heads;
@@ -576,7 +681,7 @@ fn causal_attention_backward(
         let kh = gather_head(k, h, head_dim);
         let vh = gather_head(v, h, head_dim);
         let gh = gather_head(g, h, head_dim);
-        let p = causal_probs(&qh, &kh, head_dim);
+        let p = prefix_causal_probs(&qh, &kh, head_dim, prefix);
         // out = p · vh  ⇒  dvh = pᵀ · gh, dp = gh · vhᵀ.
         let dvh = p.transpose().matmul(&gh);
         let dp = gh.matmul_transposed(&vh);
@@ -790,6 +895,75 @@ mod tests {
             let y = tape.causal_attention(ids[0], ids[1], ids[2], 2);
             weighted_sum(tape, y, 0xF2)
         });
+    }
+
+    #[test]
+    fn gradcheck_concat_rows() {
+        let mut rng = Rng::new(17);
+        let leaves = [randn(&mut rng, 2, 5), randn(&mut rng, 3, 5)];
+        fd_check(&leaves, &|tape, ids| {
+            let y = tape.concat_rows(ids[0], ids[1]);
+            weighted_sum(tape, y, 0xC3)
+        });
+    }
+
+    #[test]
+    fn gradcheck_prefix_causal_attention() {
+        let mut rng = Rng::new(18);
+        let (t, p, dim) = (3, 2, 8);
+        // Leaves: q [t, dim]; prefix K/V [p, dim]; self K/V [t, dim] —
+        // concat_rows builds the [p+t, dim] key/value stacks on the tape,
+        // so the prefix rows' gradients flow through the same path the
+        // KvProjector training uses.
+        let leaves = [
+            randn(&mut rng, t, dim),
+            randn(&mut rng, p, dim),
+            randn(&mut rng, t, dim),
+            randn(&mut rng, p, dim),
+            randn(&mut rng, t, dim),
+        ];
+        fd_check(&leaves, &|tape, ids| {
+            let k = tape.concat_rows(ids[1], ids[2]);
+            let v = tape.concat_rows(ids[3], ids[4]);
+            let y = tape.prefix_causal_attention(ids[0], k, v, 2, p);
+            weighted_sum(tape, y, 0xD3)
+        });
+    }
+
+    /// With `prefix = 0`, prefix attention must equal causal attention
+    /// exactly — same forward values, same gradients.
+    #[test]
+    fn prefix_attention_with_zero_prefix_is_causal_attention() {
+        let mut rng = Rng::new(19);
+        let (t, dim, heads) = (4, 8, 2);
+        let (q, k, v) = (
+            randn(&mut rng, t, dim),
+            randn(&mut rng, t, dim),
+            randn(&mut rng, t, dim),
+        );
+        let run = |use_prefix: bool| {
+            let mut tape = Tape::new();
+            let qi = tape.leaf(q.clone());
+            let ki = tape.leaf(k.clone());
+            let vi = tape.leaf(v.clone());
+            let y = if use_prefix {
+                tape.prefix_causal_attention(qi, ki, vi, heads, 0)
+            } else {
+                tape.causal_attention(qi, ki, vi, heads)
+            };
+            let s = weighted_sum(&mut tape, y, 0xE3);
+            let grads = tape.backward(s);
+            (
+                tape.value(y).data.clone(),
+                grads.get(qi).unwrap().data.clone(),
+                grads.get(ki).unwrap().data.clone(),
+            )
+        };
+        let (ya, dqa, dka) = run(false);
+        let (yb, dqb, dkb) = run(true);
+        assert_eq!(ya, yb);
+        assert_eq!(dqa, dqb);
+        assert_eq!(dka, dkb);
     }
 
     /// Composite graph: every op chained at once still gradchecks — guards

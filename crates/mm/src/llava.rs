@@ -1,0 +1,259 @@
+//! LlavaSim: the simulated LLaVA-architecture target model — vision tower →
+//! connector → the `aasd-nn` decoder LM, with the vision prefix entering the
+//! LM through the embeds inference path (`forward_infer_embeds_ws`) so the
+//! image occupies KV positions `0..n_img` and text starts at `n_img`,
+//! exactly as in training.
+
+use crate::vision::{Connector, Image, VisionConfig, VisionEncoder};
+use aasd_nn::{Decoder, DecoderConfig, KvCache};
+use aasd_tensor::{argmax, Rng, Tensor, Workspace};
+
+/// Hyperparameters for a full LlavaSim model.
+#[derive(Debug, Clone)]
+pub struct LlavaSimConfig {
+    pub vision: VisionConfig,
+    /// Hidden width of the 2-layer MLP connector.
+    pub connector_hidden: usize,
+    pub lm: DecoderConfig,
+}
+
+impl LlavaSimConfig {
+    /// Smallest config exercising every code path; used by tests.
+    pub fn tiny(vocab: usize, max_seq: usize) -> Self {
+        Self {
+            vision: VisionConfig {
+                n_patches: 8,
+                patch_dim: 12,
+                dim: 16,
+                n_heads: 2,
+                n_layers: 1,
+                ff_hidden: 32,
+            },
+            connector_hidden: 24,
+            lm: DecoderConfig {
+                vocab,
+                dim: 32,
+                n_heads: 4,
+                n_layers: 2,
+                ff_hidden: 64,
+                max_seq,
+                rope_theta: 10_000.0,
+            },
+        }
+    }
+
+    /// The "7B-shaped" simulation target: small enough to race on one core,
+    /// big enough that per-token weight traffic dominates.
+    pub fn sim_7b(vocab: usize, max_seq: usize) -> Self {
+        Self {
+            vision: VisionConfig {
+                n_patches: 16,
+                patch_dim: 27,
+                dim: 48,
+                n_heads: 4,
+                n_layers: 2,
+                ff_hidden: 96,
+            },
+            connector_hidden: 96,
+            lm: DecoderConfig {
+                vocab,
+                dim: 128,
+                n_heads: 8,
+                n_layers: 3,
+                ff_hidden: 256,
+                max_seq,
+                rope_theta: 10_000.0,
+            },
+        }
+    }
+
+    /// The "13B-shaped" simulation target: same vocabulary and patch count
+    /// as [`LlavaSimConfig::sim_7b`] but a deeper/wider tower and LM, so the
+    /// two presets reproduce the paper's per-forward cost asymmetry (the
+    /// bench asserts `sim_13b` is strictly slower per forward).
+    pub fn sim_13b(vocab: usize, max_seq: usize) -> Self {
+        Self {
+            vision: VisionConfig {
+                n_patches: 16,
+                patch_dim: 27,
+                dim: 64,
+                n_heads: 4,
+                n_layers: 3,
+                ff_hidden: 128,
+            },
+            connector_hidden: 128,
+            lm: DecoderConfig {
+                vocab,
+                dim: 192,
+                n_heads: 8,
+                n_layers: 5,
+                ff_hidden: 384,
+                max_seq,
+                rope_theta: 10_000.0,
+            },
+        }
+    }
+
+    /// Vision-prefix length in the LM cache.
+    pub fn n_img(&self) -> usize {
+        self.vision.n_patches
+    }
+
+    /// Rows the KV projector compresses the vision slice into (k ≪ n_img).
+    pub fn k_slots(&self) -> usize {
+        (self.vision.n_patches / 4).max(1)
+    }
+}
+
+/// The simulated multimodal target model.
+#[derive(Debug, Clone)]
+pub struct LlavaSim {
+    pub cfg: LlavaSimConfig,
+    pub vision: VisionEncoder,
+    pub connector: Connector,
+    pub lm: Decoder,
+}
+
+impl LlavaSim {
+    /// Deterministic init from a seed (vision, connector, and LM draw from
+    /// forked streams, so the parts are independent).
+    pub fn new(cfg: LlavaSimConfig, seed: u64) -> Self {
+        let mut rng = Rng::new(seed);
+        let vision = VisionEncoder::new(cfg.vision.clone(), &mut rng.fork());
+        let connector = Connector::new(
+            &mut rng.fork(),
+            cfg.vision.dim,
+            cfg.connector_hidden,
+            cfg.lm.dim,
+        );
+        let lm = Decoder::new(cfg.lm.clone(), rng.next_u64());
+        Self {
+            cfg,
+            vision,
+            connector,
+            lm,
+        }
+    }
+
+    pub fn n_img(&self) -> usize {
+        self.cfg.n_img()
+    }
+
+    /// Vision tower + connector: image → `[n_img, lm.dim]` embedding rows
+    /// ready to enter the decoder where token embeddings would.
+    pub fn encode_image(&self, image: &Image) -> Tensor {
+        self.connector.forward(&self.vision.forward(image))
+    }
+
+    /// Multimodal prefill on the fused path: push the vision prefix through
+    /// the embeds path (KV positions `0..n_img`), then the text prompt
+    /// (positions `n_img..`), and return the first target-decided *pending*
+    /// token. Afterwards `cache` holds `n_img + prompt.len()` positions —
+    /// ready for the seeded decode loops in `aasd-specdec`.
+    pub fn prefill_ws(
+        &self,
+        image: &Image,
+        prompt: &[u32],
+        cache: &mut KvCache,
+        ws: &mut Workspace,
+    ) -> u32 {
+        assert!(!prompt.is_empty(), "empty prompt");
+        let n = self.n_img();
+        let vocab = self.cfg.lm.vocab;
+        assert!(
+            n + prompt.len() <= self.cfg.lm.max_seq,
+            "vision prefix + prompt exceed max_seq"
+        );
+        let embeds = self.encode_image(image);
+        let mut img_logits = ws.take(n * vocab);
+        self.lm
+            .forward_infer_embeds_ws(&embeds.data, n, cache, ws, &mut img_logits);
+        ws.give(img_logits);
+        let mut logits = ws.take(prompt.len() * vocab);
+        self.lm.forward_infer_ws(prompt, cache, ws, &mut logits);
+        let pending = argmax(&logits[(prompt.len() - 1) * vocab..]) as u32;
+        ws.give(logits);
+        pending
+    }
+
+    /// Total parameter count across vision, connector, and LM.
+    pub fn n_params(&self) -> usize {
+        self.vision.n_params() + self.connector.n_params() + self.lm.n_params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_image_lands_in_lm_space() {
+        let model = LlavaSim::new(LlavaSimConfig::tiny(40, 64), 0xA5);
+        let img = Image::synthetic(&mut Rng::new(3), 8, 12);
+        let e = model.encode_image(&img);
+        assert_eq!((e.rows, e.cols), (model.n_img(), model.cfg.lm.dim));
+    }
+
+    /// The fused prefill must agree with the allocating composition of the
+    /// embeds path and the token path — same pending token, same cache
+    /// length, and a continuation step must agree too.
+    #[test]
+    fn prefill_ws_matches_allocating_composition() {
+        let model = LlavaSim::new(LlavaSimConfig::tiny(40, 64), 0xA6);
+        let img = Image::synthetic(&mut Rng::new(9), 8, 12);
+        let prompt = [3u32, 17, 5, 29];
+
+        let mut ws = Workspace::new();
+        let mut cache_ws = model.lm.new_cache();
+        let pending = model.prefill_ws(&img, &prompt, &mut cache_ws, &mut ws);
+
+        let embeds = model.encode_image(&img);
+        let mut cache = model.lm.new_cache();
+        model.lm.forward_infer_embeds(&embeds, &mut cache);
+        let logits = model.lm.forward_infer(&prompt, &mut cache);
+        let want = argmax(logits.row(logits.rows - 1)) as u32;
+        assert_eq!(pending, want);
+        assert_eq!(cache_ws.len(), cache.len());
+        assert_eq!(cache_ws.len(), model.n_img() + prompt.len());
+
+        let a = model.lm.forward_infer(&[pending], &mut cache);
+        let mut b = vec![0.0f32; model.cfg.lm.vocab];
+        model
+            .lm
+            .forward_infer_ws(&[pending], &mut cache_ws, &mut ws, &mut b);
+        let diff = a
+            .row(0)
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        assert!(diff < 1e-4, "continuation diverged: {diff}");
+    }
+
+    /// The target's text logits must depend on the image — otherwise the
+    /// multimodal alignment experiments would be measuring nothing.
+    #[test]
+    fn text_logits_depend_on_image() {
+        let model = LlavaSim::new(LlavaSimConfig::tiny(40, 64), 0xA7);
+        let prompt = [1u32, 2, 3];
+        let mut ws = Workspace::new();
+        let mut pendings = Vec::new();
+        for seed in 0..8u64 {
+            let img = Image::synthetic(&mut Rng::new(seed), 8, 12);
+            let mut cache = model.lm.new_cache();
+            pendings.push(model.prefill_ws(&img, &prompt, &mut cache, &mut ws));
+        }
+        assert!(
+            pendings.iter().any(|p| *p != pendings[0]),
+            "pending token identical across 8 images: {pendings:?}"
+        );
+    }
+
+    #[test]
+    fn preset_cost_asymmetry_in_params() {
+        let a = LlavaSim::new(LlavaSimConfig::sim_7b(64, 128), 1);
+        let b = LlavaSim::new(LlavaSimConfig::sim_13b(64, 128), 1);
+        assert!(b.n_params() > a.n_params());
+        assert_eq!(a.n_img(), b.n_img(), "presets must share the prefix length");
+    }
+}

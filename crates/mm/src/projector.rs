@@ -1,0 +1,226 @@
+//! The AASD KV projector: learned per-layer matrices `W_K, W_V ∈ R^{k×n_img}`
+//! that compress the **vision slice** of the target's KV cache into `k`
+//! rows, which are then prepended to the draft's cache so the draft attends
+//! over `[projected vision KV ∥ its own text KV]` — the hybrid cache.
+//!
+//! Because the draft shares the LM width with the target (it is cheaper via
+//! depth/FFN, not width), the projection is a pure *row* compression: for
+//! draft layer `l`, the projected keys are `W_K[l] · K_vis` where `K_vis` is
+//! the `[n_img, dim]` vision slice of target layer `layer_map[l]`'s cache.
+//! The target's vision keys are stored post-RoPE; the projector learns to
+//! map them into whatever geometry helps the draft, so no de-rotation is
+//! needed — consistency between training and inference is what matters, and
+//! both read the same rows.
+
+use aasd_nn::KvCache;
+use aasd_tensor::{Rng, Tensor};
+
+/// Spread `draft_layers` draft layers over `target_layers` target layers:
+/// draft layer `l` reads target layer `(l+1)·T/D − 1`. A 1-layer draft reads
+/// the target's **last** layer — matching the paper's use of the deepest
+/// (most semantic) vision KV for the draft.
+pub fn layer_map(draft_layers: usize, target_layers: usize) -> Vec<usize> {
+    assert!(draft_layers >= 1 && target_layers >= 1);
+    assert!(draft_layers <= target_layers, "draft deeper than target");
+    (1..=draft_layers)
+        .map(|l| l * target_layers / draft_layers - 1)
+        .collect()
+}
+
+/// Learned per-draft-layer vision-KV compressors.
+#[derive(Debug, Clone)]
+pub struct KvProjector {
+    /// Projected rows per layer (`k` in the paper, `k ≪ n_img`).
+    pub k_slots: usize,
+    /// Vision-prefix length in the target cache.
+    pub n_img: usize,
+    /// Per draft layer: key compressor `[k_slots, n_img]`.
+    pub wk: Vec<Tensor>,
+    /// Per draft layer: value compressor `[k_slots, n_img]`.
+    pub wv: Vec<Tensor>,
+    /// Which target layer each draft layer reads (see [`layer_map`]).
+    pub map: Vec<usize>,
+}
+
+impl KvProjector {
+    /// Init as block-average pooling plus small noise: before any training
+    /// the projected rows are mean-pooled vision KV, a sane starting point
+    /// that already carries image signal.
+    pub fn new(
+        seed: u64,
+        draft_layers: usize,
+        target_layers: usize,
+        n_img: usize,
+        k_slots: usize,
+    ) -> Self {
+        assert!(k_slots >= 1 && k_slots <= n_img, "need 1 <= k <= n_img");
+        let mut rng = Rng::new(seed);
+        let map = layer_map(draft_layers, target_layers);
+        let mut pooled = || {
+            let mut w = Tensor::zeros(k_slots, n_img);
+            for s in 0..k_slots {
+                // Slot s averages patches [lo, hi): contiguous spans that
+                // cover all n_img patches.
+                let lo = s * n_img / k_slots;
+                let hi = (s + 1) * n_img / k_slots;
+                let inv = 1.0 / (hi - lo) as f32;
+                for j in lo..hi {
+                    w.row_mut(s)[j] = inv;
+                }
+            }
+            for v in &mut w.data {
+                *v += 0.02 * rng.normal();
+            }
+            w
+        };
+        let wk = (0..draft_layers).map(|_| pooled()).collect();
+        let wv = (0..draft_layers).map(|_| pooled()).collect();
+        Self {
+            k_slots,
+            n_img,
+            wk,
+            wv,
+            map,
+        }
+    }
+
+    /// Project target layer `map[l]`'s vision KV for draft layer `l`:
+    /// returns `(keys, values)`, each `[k_slots, dim]` row-major.
+    pub fn project(&self, t_cache: &KvCache, l: usize) -> (Tensor, Tensor) {
+        let src = &t_cache.layers[self.map[l]];
+        assert!(src.len() >= self.n_img, "target cache lacks vision prefix");
+        let dim = src.key(0).len();
+        let kvis = Tensor::from_vec(src.keys()[..self.n_img * dim].to_vec(), self.n_img, dim);
+        let vvis = Tensor::from_vec(src.values()[..self.n_img * dim].to_vec(), self.n_img, dim);
+        (self.wk[l].matmul(&kvis), self.wv[l].matmul(&vvis))
+    }
+
+    /// Seed an **empty** draft cache with the projected vision prefix:
+    /// appends `k_slots` rows to every draft layer. The rows are stored raw
+    /// (not re-rotated) — draft text tokens will then RoPE at positions
+    /// `k_slots..`, exactly as the training-time graph ropes them.
+    pub fn seed_draft_cache(&self, t_cache: &KvCache, d_cache: &mut KvCache) {
+        assert!(d_cache.is_empty(), "draft cache must be empty to seed");
+        assert_eq!(d_cache.layers.len(), self.wk.len(), "draft layer count");
+        for l in 0..d_cache.layers.len() {
+            let (pk, pv) = self.project(t_cache, l);
+            for r in 0..self.k_slots {
+                d_cache.layers[l].append(pk.row(r), pv.row(r));
+            }
+        }
+    }
+
+    /// Visit every trainable parameter slice in canonical order: per layer,
+    /// `wk` then `wv`. The hybrid distillation loop appends these slots
+    /// after the draft's own parameter slots.
+    pub fn visit_params_mut(&mut self, f: &mut dyn FnMut(&str, &mut [f32])) {
+        for l in 0..self.wk.len() {
+            f(&format!("projector.{l}.wk"), &mut self.wk[l].data);
+            f(&format!("projector.{l}.wv"), &mut self.wv[l].data);
+        }
+    }
+
+    pub fn n_param_tensors(&self) -> usize {
+        2 * self.wk.len()
+    }
+}
+
+/// The raw-vision ablation's seeding path: copy the target's vision KV rows
+/// **unprojected** into the draft cache (`n_img` rows per layer, target
+/// layer chosen by [`layer_map`]). Draft text then ropes at positions
+/// `n_img..`, which coincides with the target's own text offset.
+pub fn seed_raw_vision(t_cache: &KvCache, d_cache: &mut KvCache, n_img: usize) {
+    assert!(d_cache.is_empty(), "draft cache must be empty to seed");
+    let map = layer_map(d_cache.layers.len(), t_cache.layers.len());
+    for (l, &src_l) in map.iter().enumerate() {
+        let src = &t_cache.layers[src_l];
+        assert!(src.len() >= n_img, "target cache lacks vision prefix");
+        for pos in 0..n_img {
+            d_cache.layers[l].append(src.key(pos), src.value(pos));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aasd_nn::{Decoder, DecoderConfig};
+
+    #[test]
+    fn layer_map_spreads_and_ends_at_last() {
+        assert_eq!(layer_map(1, 4), vec![3]);
+        assert_eq!(layer_map(2, 4), vec![1, 3]);
+        assert_eq!(layer_map(4, 4), vec![0, 1, 2, 3]);
+        assert_eq!(layer_map(3, 5), vec![0, 2, 4]);
+    }
+
+    fn seeded_target_cache() -> (Decoder, aasd_nn::KvCache) {
+        let target = Decoder::new(DecoderConfig::tiny(30), 0x71);
+        let mut cache = target.new_cache();
+        let toks: Vec<u32> = (0..12).map(|i| (i * 7 % 30) as u32).collect();
+        target.forward_infer(&toks, &mut cache);
+        (target, cache)
+    }
+
+    #[test]
+    fn projected_seed_has_k_rows_per_layer() {
+        let (target, t_cache) = seeded_target_cache();
+        let draft_cfg = DecoderConfig {
+            n_layers: 1,
+            ff_hidden: 32,
+            ..target.cfg.clone()
+        };
+        let draft = Decoder::new(draft_cfg, 0x72);
+        let proj = KvProjector::new(9, 1, target.cfg.n_layers, 8, 2);
+        let mut d_cache = draft.new_cache();
+        proj.seed_draft_cache(&t_cache, &mut d_cache);
+        assert_eq!(d_cache.len(), 2);
+    }
+
+    /// With exact one-hot pooling rows (no noise), a k = n_img "projector"
+    /// reproduces the raw copy — the two seeding paths agree.
+    #[test]
+    fn identity_projector_matches_raw_seed() {
+        let (target, t_cache) = seeded_target_cache();
+        let n_img = 8;
+        let draft_cfg = DecoderConfig {
+            n_layers: 1,
+            ff_hidden: 32,
+            ..target.cfg.clone()
+        };
+        let draft = Decoder::new(draft_cfg, 0x73);
+        let mut proj = KvProjector::new(1, 1, target.cfg.n_layers, n_img, n_img);
+        // Overwrite the noisy init with the exact identity.
+        for w in proj.wk.iter_mut().chain(proj.wv.iter_mut()) {
+            w.data.fill(0.0);
+            for s in 0..n_img {
+                w.row_mut(s)[s] = 1.0;
+            }
+        }
+        let mut a = draft.new_cache();
+        proj.seed_draft_cache(&t_cache, &mut a);
+        let mut b = draft.new_cache();
+        seed_raw_vision(&t_cache, &mut b, n_img);
+        assert_eq!(a.len(), b.len());
+        for l in 0..a.layers.len() {
+            for pos in 0..n_img {
+                let dk: f32 = a.layers[l]
+                    .key(pos)
+                    .iter()
+                    .zip(b.layers[l].key(pos))
+                    .map(|(x, y)| (x - y).abs())
+                    .fold(0.0, f32::max);
+                assert!(dk < 1e-5, "layer {l} pos {pos} key diff {dk}");
+            }
+        }
+    }
+
+    #[test]
+    fn visitor_counts_slots() {
+        let mut proj = KvProjector::new(1, 2, 4, 8, 2);
+        let mut n = 0;
+        proj.visit_params_mut(&mut |_, _| n += 1);
+        assert_eq!(n, proj.n_param_tensors());
+        assert_eq!(n, 4);
+    }
+}

@@ -1,0 +1,309 @@
+//! Vision tower for LlavaSim: a patch-embedding ViT with bidirectional
+//! pre-norm blocks, plus the 2-layer MLP connector that maps patch features
+//! into the LM's text-embedding space.
+//!
+//! The ViT deliberately differs from the text decoder in the two ways that
+//! matter architecturally: attention is **bidirectional** (no causal mask —
+//! every patch sees every patch) and position information comes from a
+//! **learned additive embedding** instead of RoPE. Blocks reuse the
+//! `aasd-nn` `Linear`/`RmsNorm`/`Mlp` layers so the whole stack shares one
+//! set of kernels.
+
+use aasd_nn::{Linear, Mlp, RmsNorm};
+use aasd_tensor::{silu, Rng, Tensor};
+
+/// A synthetic "image": pre-patchified pixel rows `[n_patches, patch_dim]`.
+/// The reproduction has no pixel pipeline; seeded random patch tensors stand
+/// in for real images, and the target's output genuinely depends on them
+/// (the vision prefix conditions every text logit), which is all the
+/// alignment experiments need.
+#[derive(Debug, Clone)]
+pub struct Image {
+    pub patches: Tensor,
+}
+
+impl Image {
+    /// Deterministic synthetic image from a seed stream.
+    ///
+    /// Patches are **spatially redundant**, like real images: each patch is
+    /// a random mixture of `n_patches/4` shared basis patches plus a little
+    /// independent noise, so the patch matrix is approximately low-rank.
+    /// This is the property the paper's vision KV projector monetizes — a
+    /// learned `k × n` row compression can only be near-lossless if the `n`
+    /// vision rows actually share structure. I.i.d. patches (rank
+    /// `n_patches`) would make *any* compression destroy image information
+    /// and quietly turn the projector ablation into a strawman.
+    pub fn synthetic(rng: &mut Rng, n_patches: usize, patch_dim: usize) -> Self {
+        let rank = (n_patches / 4).max(1).min(n_patches);
+        let basis = Tensor::randn(rng, rank, patch_dim, 1.0);
+        // Mixing weights scaled so patch entries keep ~unit variance.
+        let weights = Tensor::randn(rng, n_patches, rank, 1.0 / (rank as f32).sqrt());
+        let mut patches = weights.matmul(&basis);
+        for v in patches.data.iter_mut() {
+            *v += 0.1 * rng.normal();
+        }
+        Self { patches }
+    }
+}
+
+/// Hyperparameters for the vision tower.
+#[derive(Debug, Clone)]
+pub struct VisionConfig {
+    /// Patches per image — the vision-prefix length `n_img` in the LM.
+    pub n_patches: usize,
+    /// Flattened pixels per patch.
+    pub patch_dim: usize,
+    pub dim: usize,
+    pub n_heads: usize,
+    pub n_layers: usize,
+    pub ff_hidden: usize,
+}
+
+/// One pre-norm ViT block: `x + attn(norm(x))`, then `x + mlp(norm(x))`,
+/// with full (unmasked, un-roped) multi-head self-attention.
+#[derive(Debug, Clone)]
+pub struct VitBlock {
+    pub attn_norm: RmsNorm,
+    pub wq: Linear,
+    pub wk: Linear,
+    pub wv: Linear,
+    pub wo: Linear,
+    pub mlp_norm: RmsNorm,
+    pub mlp: Mlp,
+    n_heads: usize,
+    head_dim: usize,
+}
+
+impl VitBlock {
+    pub fn new(rng: &mut Rng, cfg: &VisionConfig) -> Self {
+        assert!(
+            cfg.dim.is_multiple_of(cfg.n_heads),
+            "vision dim must divide into heads"
+        );
+        Self {
+            attn_norm: RmsNorm::new(cfg.dim),
+            wq: Linear::new(rng, cfg.dim, cfg.dim),
+            wk: Linear::new(rng, cfg.dim, cfg.dim),
+            wv: Linear::new(rng, cfg.dim, cfg.dim),
+            wo: Linear::new(rng, cfg.dim, cfg.dim),
+            mlp_norm: RmsNorm::new(cfg.dim),
+            mlp: Mlp::new(rng, cfg.dim, cfg.ff_hidden),
+            n_heads: cfg.n_heads,
+            head_dim: cfg.dim / cfg.n_heads,
+        }
+    }
+
+    /// Bidirectional multi-head self-attention over all `t` rows.
+    fn attention(&self, x: &Tensor) -> Tensor {
+        let (t, dim) = (x.rows, x.cols);
+        let q = self.wq.forward(x);
+        let k = self.wk.forward(x);
+        let v = self.wv.forward(x);
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let mut ctx = Tensor::zeros(t, dim);
+        for h in 0..self.n_heads {
+            let span = |r: usize| r * dim + h * self.head_dim;
+            let mut qh = Tensor::zeros(t, self.head_dim);
+            let mut kh = Tensor::zeros(t, self.head_dim);
+            let mut vh = Tensor::zeros(t, self.head_dim);
+            for i in 0..t {
+                qh.row_mut(i)
+                    .copy_from_slice(&q.data[span(i)..span(i) + self.head_dim]);
+                kh.row_mut(i)
+                    .copy_from_slice(&k.data[span(i)..span(i) + self.head_dim]);
+                vh.row_mut(i)
+                    .copy_from_slice(&v.data[span(i)..span(i) + self.head_dim]);
+            }
+            let mut s = qh.matmul_transposed(&kh); // [t, t], no mask
+            for sv in &mut s.data {
+                *sv *= scale;
+            }
+            s.softmax_rows_inplace();
+            let oh = s.matmul(&vh);
+            for i in 0..t {
+                ctx.data[span(i)..span(i) + self.head_dim].copy_from_slice(oh.row(i));
+            }
+        }
+        self.wo.forward(&ctx)
+    }
+
+    pub fn forward(&self, x: &mut Tensor) {
+        let a = self.attention(&self.attn_norm.forward(x));
+        for (xv, av) in x.data.iter_mut().zip(&a.data) {
+            *xv += av;
+        }
+        let m = self.mlp.forward(&self.mlp_norm.forward(x));
+        for (xv, mv) in x.data.iter_mut().zip(&m.data) {
+            *xv += mv;
+        }
+    }
+}
+
+/// Patch-embedding ViT: `patches·W_embed + pos`, then `n_layers` pre-norm
+/// bidirectional blocks and a final norm. Output is `[n_patches, dim]`.
+#[derive(Debug, Clone)]
+pub struct VisionEncoder {
+    pub cfg: VisionConfig,
+    pub patch_embed: Linear,
+    /// Learned absolute position embedding `[n_patches, dim]`.
+    pub pos_embed: Tensor,
+    pub blocks: Vec<VitBlock>,
+    pub final_norm: RmsNorm,
+}
+
+impl VisionEncoder {
+    pub fn new(cfg: VisionConfig, rng: &mut Rng) -> Self {
+        let patch_embed = Linear::new(rng, cfg.patch_dim, cfg.dim);
+        let pos_embed = Tensor::randn(rng, cfg.n_patches, cfg.dim, 0.02);
+        let blocks = (0..cfg.n_layers)
+            .map(|_| VitBlock::new(&mut rng.fork(), &cfg))
+            .collect();
+        let final_norm = RmsNorm::new(cfg.dim);
+        Self {
+            cfg,
+            patch_embed,
+            pos_embed,
+            blocks,
+            final_norm,
+        }
+    }
+
+    /// Encode an image into `[n_patches, dim]` patch features.
+    pub fn forward(&self, image: &Image) -> Tensor {
+        assert_eq!(image.patches.rows, self.cfg.n_patches, "patch count");
+        assert_eq!(image.patches.cols, self.cfg.patch_dim, "patch width");
+        let mut x = self.patch_embed.forward(&image.patches);
+        for (xv, pv) in x.data.iter_mut().zip(&self.pos_embed.data) {
+            *xv += pv;
+        }
+        for block in &self.blocks {
+            block.forward(&mut x);
+        }
+        self.final_norm.forward(&x)
+    }
+
+    /// Parameter count (for bench cost accounting).
+    pub fn n_params(&self) -> usize {
+        let per_block: usize = self
+            .blocks
+            .iter()
+            .map(|b| {
+                b.wq.w.data.len()
+                    + b.wk.w.data.len()
+                    + b.wv.w.data.len()
+                    + b.wo.w.data.len()
+                    + b.mlp.w1.w.data.len()
+                    + b.mlp.w2.w.data.len()
+                    + b.mlp.w3.w.data.len()
+                    + b.attn_norm.gain.len()
+                    + b.mlp_norm.gain.len()
+            })
+            .sum();
+        self.patch_embed.w.data.len()
+            + self.pos_embed.data.len()
+            + per_block
+            + self.final_norm.gain.len()
+    }
+}
+
+/// The LLaVA-style connector: a 2-layer silu MLP projecting vision features
+/// `[n, vision_dim]` into the LM's embedding space `[n, lm_dim]`.
+#[derive(Debug, Clone)]
+pub struct Connector {
+    pub w1: Linear,
+    pub w2: Linear,
+}
+
+impl Connector {
+    pub fn new(rng: &mut Rng, vision_dim: usize, hidden: usize, lm_dim: usize) -> Self {
+        Self {
+            w1: Linear::new(rng, vision_dim, hidden),
+            w2: Linear::new(rng, hidden, lm_dim),
+        }
+    }
+
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let mut h = self.w1.forward(x);
+        for v in &mut h.data {
+            *v = silu(*v);
+        }
+        self.w2.forward(&h)
+    }
+
+    pub fn n_params(&self) -> usize {
+        self.w1.w.data.len() + self.w2.w.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> VisionConfig {
+        VisionConfig {
+            n_patches: 8,
+            patch_dim: 12,
+            dim: 16,
+            n_heads: 2,
+            n_layers: 2,
+            ff_hidden: 32,
+        }
+    }
+
+    #[test]
+    fn encoder_shape_and_determinism() {
+        let mut rng = Rng::new(1);
+        let enc = VisionEncoder::new(cfg(), &mut rng);
+        let img = Image::synthetic(&mut Rng::new(7), 8, 12);
+        let a = enc.forward(&img);
+        let b = enc.forward(&img);
+        assert_eq!((a.rows, a.cols), (8, 16));
+        assert_eq!(a.data, b.data);
+    }
+
+    #[test]
+    fn different_images_give_different_features() {
+        let mut rng = Rng::new(2);
+        let enc = VisionEncoder::new(cfg(), &mut rng);
+        let a = enc.forward(&Image::synthetic(&mut Rng::new(1), 8, 12));
+        let b = enc.forward(&Image::synthetic(&mut Rng::new(2), 8, 12));
+        let diff = a
+            .data
+            .iter()
+            .zip(&b.data)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        assert!(diff > 1e-3, "encoder collapsed distinct images");
+    }
+
+    /// Bidirectional attention: perturbing the LAST patch must change the
+    /// FIRST patch's feature (a causal tower would leave it untouched).
+    #[test]
+    fn attention_is_bidirectional() {
+        let mut rng = Rng::new(3);
+        let enc = VisionEncoder::new(cfg(), &mut rng);
+        let img1 = Image::synthetic(&mut Rng::new(5), 8, 12);
+        let mut img2 = img1.clone();
+        for v in img2.patches.row_mut(7) {
+            *v += 3.0;
+        }
+        let a = enc.forward(&img1);
+        let b = enc.forward(&img2);
+        let first_diff = a
+            .row(0)
+            .iter()
+            .zip(b.row(0))
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        assert!(first_diff > 1e-4, "patch 0 ignored patch 7");
+    }
+
+    #[test]
+    fn connector_maps_into_lm_space() {
+        let mut rng = Rng::new(4);
+        let conn = Connector::new(&mut rng, 16, 24, 32);
+        let x = Tensor::randn(&mut rng, 8, 16, 1.0);
+        let y = conn.forward(&x);
+        assert_eq!((y.rows, y.cols), (8, 32));
+    }
+}

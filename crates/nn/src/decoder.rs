@@ -262,6 +262,47 @@ impl Decoder {
         self.embed.forward_into(tokens, &mut x);
         ws.prof.end(span, Op::Embed);
 
+        self.infer_tail_ws(x, t, cache, ws, logits);
+    }
+
+    /// Fused forward over **pre-computed embedding rows** instead of token
+    /// ids: `x` is `[t, dim]` row-major. This is how a vision prefix enters
+    /// the decoder — the multimodal path (LlavaSim) projects image patches
+    /// into text-embedding space and feeds the rows here, pre-seeding the
+    /// cache before any text token arrives. Positions start at
+    /// `cache.len()` exactly as in [`Decoder::forward_infer_ws`].
+    pub fn forward_infer_embeds_ws(
+        &self,
+        x: &[f32],
+        t: usize,
+        cache: &mut KvCache,
+        ws: &mut Workspace,
+        logits: &mut [f32],
+    ) {
+        assert!(t > 0, "empty embedding block");
+        assert_eq!(x.len(), t * self.cfg.dim);
+        assert!(
+            cache.len() + t <= self.cfg.max_seq,
+            "sequence exceeds max_seq = {}",
+            self.cfg.max_seq
+        );
+        assert_eq!(logits.len(), t * self.cfg.vocab);
+        let mut buf = ws.take(t * self.cfg.dim);
+        buf.copy_from_slice(x);
+        self.infer_tail_ws(buf, t, cache, ws, logits);
+    }
+
+    /// Shared post-embedding body of the fused forwards: blocks → final
+    /// norm → LM head. Takes ownership of the pooled `[t, dim]` activation
+    /// buffer and returns it to the pool.
+    fn infer_tail_ws(
+        &self,
+        mut x: Vec<f32>,
+        t: usize,
+        cache: &mut KvCache,
+        ws: &mut Workspace,
+        logits: &mut [f32],
+    ) {
         for (block, layer) in self.blocks.iter().zip(cache.layers.iter_mut()) {
             block.forward_infer_ws(&mut x, t, &self.rope, layer, ws);
         }
@@ -277,6 +318,25 @@ impl Decoder {
 
         ws.give(x);
         ws.give(xn);
+    }
+
+    /// Allocating reference for [`Decoder::forward_infer_embeds_ws`]: append
+    /// a block of embedding rows (positions start at `cache.len()`) and
+    /// return the `[t, vocab]` logits.
+    pub fn forward_infer_embeds(&self, x: &Tensor, cache: &mut KvCache) -> Tensor {
+        assert!(x.rows > 0, "empty embedding block");
+        assert_eq!(x.cols, self.cfg.dim, "embedding width mismatch");
+        assert!(
+            cache.len() + x.rows <= self.cfg.max_seq,
+            "sequence exceeds max_seq = {}",
+            self.cfg.max_seq
+        );
+        let mut x = x.clone();
+        for (block, layer) in self.blocks.iter().zip(cache.layers.iter_mut()) {
+            block.forward_infer(&mut x, &self.rope, layer);
+        }
+        let x = self.final_norm.forward(&x);
+        self.lm_head.forward(&x)
     }
 
     /// Stateless full-sequence recompute (reference path): logits for the
@@ -516,6 +576,72 @@ mod tests {
         let heads = model.cfg.n_heads as u64;
         assert_eq!(ws.prof.calls(Op::AttnScore), steps * layers * heads);
         assert_eq!(ws.prof.calls(Op::AttnMix), steps * layers * heads);
+    }
+
+    /// Feeding a token's embedding row through the embeds path must produce
+    /// the same logits and cache state as feeding the token id — both in
+    /// the allocating and the fused variants, and across a prefix/text
+    /// split (the LlavaSim prefill shape).
+    #[test]
+    fn embeds_path_matches_token_path() {
+        let model = Decoder::new(DecoderConfig::tiny(50), 0xE3B);
+        let mut rng = Rng::new(81);
+        let tokens: Vec<u32> = (0..11).map(|_| rng.below(50) as u32).collect();
+        let vocab = model.cfg.vocab;
+
+        let mut cache_tok = model.new_cache();
+        let want = model.forward_infer(&tokens, &mut cache_tok);
+
+        // Allocating embeds path: prefix of 4 rows, then the rest.
+        let rows = model.embed.forward(&tokens);
+        let prefix = Tensor::from_vec(rows.data[..4 * model.cfg.dim].to_vec(), 4, model.cfg.dim);
+        let rest = Tensor::from_vec(
+            rows.data[4 * model.cfg.dim..].to_vec(),
+            tokens.len() - 4,
+            model.cfg.dim,
+        );
+        let mut cache_emb = model.new_cache();
+        let a = model.forward_infer_embeds(&prefix, &mut cache_emb);
+        let b = model.forward_infer_embeds(&rest, &mut cache_emb);
+        let mut got = a.data.clone();
+        got.extend_from_slice(&b.data);
+        assert!(
+            max_abs_diff(&got, &want.data) < 1e-4,
+            "embeds path diverged: {}",
+            max_abs_diff(&got, &want.data)
+        );
+        assert_eq!(cache_emb.len(), cache_tok.len());
+
+        // Fused embeds path.
+        let mut ws = Workspace::new();
+        let mut cache_ws = model.new_cache();
+        let mut got_ws = vec![0.0f32; tokens.len() * vocab];
+        model.forward_infer_embeds_ws(
+            &rows.data[..4 * model.cfg.dim],
+            4,
+            &mut cache_ws,
+            &mut ws,
+            &mut got_ws[..4 * vocab],
+        );
+        model.forward_infer_embeds_ws(
+            &rows.data[4 * model.cfg.dim..],
+            tokens.len() - 4,
+            &mut cache_ws,
+            &mut ws,
+            &mut got_ws[4 * vocab..],
+        );
+        assert!(
+            max_abs_diff(&got_ws, &want.data) < 1e-4,
+            "fused embeds path diverged: {}",
+            max_abs_diff(&got_ws, &want.data)
+        );
+
+        // A text block fed AFTER an embeds prefix sees the same cache state
+        // as the pure-token run: continue both caches with one token.
+        let mut l1 = vec![0.0f32; vocab];
+        model.forward_infer_ws(&[7], &mut cache_ws, &mut ws, &mut l1);
+        let l2 = model.forward_infer(&[7], &mut cache_tok);
+        assert!(max_abs_diff(&l1, l2.row(0)) < 1e-4);
     }
 
     #[test]

@@ -36,9 +36,17 @@ impl Rope {
     /// row-major each) — the format `aasd-autograd`'s `rope` op consumes
     /// when the training path replays this rotation on the tape.
     pub fn tables(&self, t: usize) -> (Vec<f32>, Vec<f32>) {
-        let n = t * self.half;
-        assert!(n <= self.cos.len(), "position range exceeds max_seq");
-        (self.cos[..n].to_vec(), self.sin[..n].to_vec())
+        self.tables_range(0, t)
+    }
+
+    /// Copies of the cos/sin tables for positions `start..start+t`. The
+    /// hybrid-cache training path ropes text tokens at positions offset by
+    /// the (un-rotated) vision-prefix length, matching what the inference
+    /// path does when the draft cache is pre-seeded with projected KV rows.
+    pub fn tables_range(&self, start: usize, t: usize) -> (Vec<f32>, Vec<f32>) {
+        let (a, b) = (start * self.half, (start + t) * self.half);
+        assert!(b <= self.cos.len(), "position range exceeds max_seq");
+        (self.cos[a..b].to_vec(), self.sin[a..b].to_vec())
     }
 
     /// Rotate one head vector (`len == head_dim`, adjacent pairs) in place

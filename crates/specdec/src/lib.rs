@@ -37,6 +37,13 @@ pub use metrics::SpecStats;
 use aasd_nn::{Decoder, KvCache};
 use aasd_tensor::{argmax, Tensor, Workspace};
 
+/// Exclusive upper bound on γ, shared by **both** loop generations. The
+/// fused loop builds its verify block in a `[u32; MAX_GAMMA]` stack buffer,
+/// and the reference loop enforces the same bound so the two paths accept
+/// and reject identical γ values (regression-tested below). Any realistic
+/// speculative depth is far below this.
+pub const MAX_GAMMA: usize = 64;
+
 /// Result of verifying one γ-token draft block against the target.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VerifyOutcome {
@@ -206,7 +213,10 @@ pub fn speculative_greedy_with_budget(
     gamma: usize,
 ) -> (Vec<u32>, SpecStats) {
     assert!(!prompt.is_empty(), "empty prompt");
-    assert!(gamma >= 1, "gamma must be at least 1");
+    assert!(
+        (1..MAX_GAMMA).contains(&gamma),
+        "gamma must be in 1..{MAX_GAMMA}"
+    );
     assert!(
         budget <= target.cfg.max_seq.min(draft.cfg.max_seq) + 1 - prompt.len(),
         "budget exceeds context window"
@@ -328,17 +338,45 @@ pub fn autoregressive_greedy_with_budget_ws(
     let mut cache = target.new_cache();
     let mut prefill = ws.take(prompt.len() * vocab);
     target.forward_infer_ws(prompt, &mut cache, ws, &mut prefill);
-    let mut tok = argmax(&prefill[(prompt.len() - 1) * vocab..]) as u32;
+    let pending = argmax(&prefill[(prompt.len() - 1) * vocab..]) as u32;
     ws.give(prefill);
+    autoregressive_greedy_seeded_ws(target, &mut cache, pending, budget, ws)
+}
 
+/// Continue fused greedy decoding from a **pre-seeded cache**: `cache`
+/// already holds an arbitrary committed context (text prompt, or a vision
+/// prefix ∥ text prompt in the multimodal path) and `pending` is the first
+/// target-decided token that has not yet been fed back. Emits `budget`
+/// tokens starting with `pending`.
+///
+/// This is the autoregressive half of the seeded-loop API that lets
+/// `aasd-mm` run LlavaSim prefill (vision embeddings through the decoder,
+/// then text) and hand the frontier to the same loop the text path uses.
+pub fn autoregressive_greedy_seeded_ws(
+    target: &Decoder,
+    cache: &mut KvCache,
+    pending: u32,
+    budget: usize,
+    ws: &mut Workspace,
+) -> Vec<u32> {
+    // All committed tokens except the final one are fed back through the
+    // cache, so the true feasible budget is the remaining room plus one.
+    assert!(
+        cache.len() + budget <= target.cfg.max_seq + 1,
+        "budget exceeds context window"
+    );
     let mut out = Vec::with_capacity(budget);
-    let mut logits = ws.take(vocab);
-    while out.len() < budget {
+    if budget == 0 {
+        return out;
+    }
+    let mut tok = pending;
+    let mut logits = ws.take(target.cfg.vocab);
+    loop {
         out.push(tok);
         if out.len() == budget {
             break;
         }
-        target.forward_infer_ws(&[tok], &mut cache, ws, &mut logits);
+        target.forward_infer_ws(&[tok], cache, ws, &mut logits);
         tok = argmax(&logits) as u32;
     }
     ws.give(logits);
@@ -363,9 +401,9 @@ pub fn autoregressive_greedy_with_budget_ws(
 ///
 /// Output is token-identical to [`autoregressive_greedy_with_budget`]
 /// (greedy/lossless). Stats follow the same conventions as the reference
-/// loop except that the first token (determined by the prompt prefill alone)
-/// is counted in `generated` without a block, so τ can exceed γ+1 by up to
-/// `1/blocks`.
+/// loop: the first token (determined by the prompt prefill alone) is
+/// recorded in `SpecStats::prefill_tokens` and excluded from
+/// `block_efficiency()`, so τ ≤ γ+1 holds on both loops.
 pub fn speculative_greedy_with_budget_ws(
     target: &Decoder,
     draft: &Decoder,
@@ -375,11 +413,82 @@ pub fn speculative_greedy_with_budget_ws(
     ws: &mut Workspace,
 ) -> (Vec<u32>, SpecStats) {
     assert!(!prompt.is_empty(), "empty prompt");
-    assert!((1..64).contains(&gamma), "gamma must be in 1..64");
+    assert!(
+        (1..MAX_GAMMA).contains(&gamma),
+        "gamma must be in 1..{MAX_GAMMA}"
+    );
     let min_max_seq = target.cfg.max_seq.min(draft.cfg.max_seq);
     assert!(
         budget <= min_max_seq + 1 - prompt.len(),
         "budget exceeds context window"
+    );
+    if budget == 0 {
+        return (Vec::new(), SpecStats::default());
+    }
+    let (t_vocab, d_vocab) = (target.cfg.vocab, draft.cfg.vocab);
+
+    let mut t_cache = target.new_cache();
+    let mut d_cache = draft.new_cache();
+    // Prefill both models; the first output token is already decided by the
+    // target's prompt logits, so it starts life as the pending token.
+    let mut prefill = ws.take(prompt.len() * t_vocab);
+    target.forward_infer_ws(prompt, &mut t_cache, ws, &mut prefill);
+    let pending = argmax(&prefill[(prompt.len() - 1) * t_vocab..]) as u32;
+    ws.give(prefill);
+    let mut d_prefill = ws.take(prompt.len() * d_vocab);
+    draft.forward_infer_ws(prompt, &mut d_cache, ws, &mut d_prefill);
+    ws.give(d_prefill);
+
+    speculative_greedy_seeded_ws(
+        target,
+        draft,
+        &mut t_cache,
+        &mut d_cache,
+        pending,
+        budget,
+        gamma,
+        ws,
+    )
+}
+
+/// The seeded core of the fused speculative loop: continue from
+/// **pre-seeded caches** whose lengths may differ.
+///
+/// This is the AASD entry point: `t_cache` holds the target's committed
+/// context (e.g. vision prefix ∥ text prompt) and `d_cache` holds the
+/// draft's — which in the hybrid-cache path is `[projected vision KV ∥
+/// text KV]` and therefore *shorter* than the target's. `pending` is the
+/// first target-decided token not yet fed to either cache. The loop only
+/// requires that both caches advance in lockstep **from here on**: per
+/// block both receive the same `pending + proposals` tokens and are rolled
+/// back by the same amount on rejection.
+///
+/// Emits `budget` tokens starting with `pending`, token-identical to
+/// [`autoregressive_greedy_seeded_ws`] from the same target cache state.
+/// `pending` is counted in `SpecStats::prefill_tokens` (it was decided by
+/// prefill, not by a verify block), keeping τ ≤ γ+1.
+#[allow(clippy::too_many_arguments)]
+pub fn speculative_greedy_seeded_ws(
+    target: &Decoder,
+    draft: &Decoder,
+    t_cache: &mut KvCache,
+    d_cache: &mut KvCache,
+    pending: u32,
+    budget: usize,
+    gamma: usize,
+    ws: &mut Workspace,
+) -> (Vec<u32>, SpecStats) {
+    assert!(
+        (1..MAX_GAMMA).contains(&gamma),
+        "gamma must be in 1..{MAX_GAMMA}"
+    );
+    assert!(
+        t_cache.len() + budget <= target.cfg.max_seq + 1,
+        "budget exceeds target context window"
+    );
+    assert!(
+        d_cache.len() + budget <= draft.cfg.max_seq + 1,
+        "budget exceeds draft context window"
     );
     let (t_vocab, d_vocab) = (target.cfg.vocab, draft.cfg.vocab);
 
@@ -388,36 +497,35 @@ pub fn speculative_greedy_with_budget_ws(
     if budget == 0 {
         return (out, stats);
     }
-
-    let mut t_cache = target.new_cache();
-    let mut d_cache = draft.new_cache();
-    // Prefill both models; the first output token is already decided by the
-    // target's prompt logits, so it starts life as the pending token.
-    let mut prefill = ws.take(prompt.len() * t_vocab);
-    target.forward_infer_ws(prompt, &mut t_cache, ws, &mut prefill);
-    let mut pending = argmax(&prefill[(prompt.len() - 1) * t_vocab..]) as u32;
-    ws.give(prefill);
-    let mut d_prefill = ws.take(prompt.len() * d_vocab);
-    draft.forward_infer_ws(prompt, &mut d_cache, ws, &mut d_prefill);
-    ws.give(d_prefill);
+    // The caches may be seeded with different-length prefixes (hybrid
+    // cache); track each one's base independently. Loop invariant: `out`
+    // ends with the pending token and each cache holds exactly
+    // `its_offset + out.len() − 1` positions.
+    let t_off = t_cache.len();
+    let d_off = d_cache.len();
+    let mut pending = pending;
     out.push(pending);
     stats.generated += 1;
+    stats.prefill_tokens += 1;
 
     let mut proposals: Vec<u32> = Vec::with_capacity(gamma);
     let mut d_logits = ws.take(d_vocab);
     while out.len() < budget {
-        let base = t_cache.len();
-        debug_assert_eq!(base, d_cache.len());
-        debug_assert_eq!(base, prompt.len() + out.len() - 1);
+        let t_base = t_cache.len();
+        let d_base = d_cache.len();
+        debug_assert_eq!(t_base, t_off + out.len() - 1);
+        debug_assert_eq!(d_base, d_off + out.len() - 1);
         // The block feeds g+1 tokens (pending + g proposals) to both caches
-        // and commits at most g+1 new tokens.
-        // The loop condition guarantees budget - out.len() >= 1.
-        let room = min_max_seq - base - 1;
+        // and commits at most g+1 new tokens; each model bounds g by its
+        // own remaining room. The loop condition guarantees
+        // budget - out.len() >= 1, and the budget asserts above guarantee
+        // base + 1 <= max_seq here, so the subtractions cannot underflow.
+        let room = (target.cfg.max_seq - t_base - 1).min(draft.cfg.max_seq - d_base - 1);
         let g = gamma.min(budget - out.len() - 1).min(room);
         if g == 0 {
             // One token of budget or context left: plain fused decode step.
             let mut logits = ws.take(t_vocab);
-            target.forward_infer_ws(&[pending], &mut t_cache, ws, &mut logits);
+            target.forward_infer_ws(&[pending], t_cache, ws, &mut logits);
             let next = argmax(&logits) as u32;
             ws.give(logits);
             out.push(next);
@@ -426,7 +534,7 @@ pub fn speculative_greedy_with_budget_ws(
             if out.len() < budget {
                 // Keep the caches in lockstep for the next block.
                 let mut dl = ws.take(d_vocab);
-                draft.forward_infer_ws(&[pending], &mut d_cache, ws, &mut dl);
+                draft.forward_infer_ws(&[pending], d_cache, ws, &mut dl);
                 ws.give(dl);
             }
             pending = next;
@@ -438,22 +546,22 @@ pub fn speculative_greedy_with_budget_ws(
         proposals.clear();
         let mut feed = pending;
         for _ in 0..g {
-            draft.forward_infer_ws(&[feed], &mut d_cache, ws, &mut d_logits);
+            draft.forward_infer_ws(&[feed], d_cache, ws, &mut d_logits);
             feed = argmax(&d_logits) as u32;
             proposals.push(feed);
         }
-        draft.forward_infer_ws(&[feed], &mut d_cache, ws, &mut d_logits);
+        draft.forward_infer_ws(&[feed], d_cache, ws, &mut d_logits);
 
         // Verify phase: ONE (g+1)-token target pass scores the pending
         // token and all g proposals. Row i predicts the token after
-        // position base+i, i.e. proposals[i] for i < g, bonus for i = g.
+        // position t_base+i, i.e. proposals[i] for i < g, bonus for i = g.
         let mut v_logits = ws.take((g + 1) * t_vocab);
-        // Build the verify block on the stack (no allocation); any
-        // realistic γ fits.
-        let mut block = [0u32; 64];
+        // Build the verify block on the stack (no allocation); γ < MAX_GAMMA
+        // is enforced above.
+        let mut block = [0u32; MAX_GAMMA];
         block[0] = pending;
         block[1..=g].copy_from_slice(&proposals);
-        target.forward_infer_ws(&block[..=g], &mut t_cache, ws, &mut v_logits);
+        target.forward_infer_ws(&block[..=g], t_cache, ws, &mut v_logits);
 
         let mut accepted = 0;
         while accepted < g {
@@ -482,8 +590,8 @@ pub fn speculative_greedy_with_budget_ws(
         }
         // Roll both caches back to the committed frontier; the new pending
         // token is fed as part of the NEXT block's verify pass.
-        t_cache.truncate(base + 1 + accepted);
-        d_cache.truncate(base + 1 + accepted);
+        t_cache.truncate(t_base + 1 + accepted);
+        d_cache.truncate(d_base + 1 + accepted);
         pending = next;
     }
     ws.give(d_logits);
@@ -719,6 +827,105 @@ mod tests {
             assert_eq!(out, reference, "boundary prompt_len {prompt_len}");
             assert_eq!(stats.generated, out.len());
         }
+    }
+
+    /// Both loop generations must agree on which γ values they accept:
+    /// γ = 0 and γ = MAX_GAMMA panic on both, γ = 1 and γ = MAX_GAMMA − 1
+    /// run on both. Before the unification the reference loop accepted any
+    /// γ ≥ 1 while the fused loop required γ < 64.
+    #[test]
+    fn gamma_validation_agrees_between_loops() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let target = tiny(80);
+        let draft = tiny(81);
+        let p = [1u32, 2, 3];
+        let run_ref = |gamma: usize| {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                speculative_greedy_with_budget(&target, &draft, &p, 4, gamma)
+            }));
+            r.is_ok()
+        };
+        let run_fused = |gamma: usize| {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                let mut ws = Workspace::new();
+                speculative_greedy_with_budget_ws(&target, &draft, &p, 4, gamma, &mut ws)
+            }));
+            r.is_ok()
+        };
+        for gamma in [0, 1, MAX_GAMMA - 1, MAX_GAMMA, MAX_GAMMA + 5] {
+            let expect = (1..MAX_GAMMA).contains(&gamma);
+            assert_eq!(run_ref(gamma), expect, "reference loop at γ={gamma}");
+            assert_eq!(run_fused(gamma), expect, "fused loop at γ={gamma}");
+        }
+    }
+
+    /// With the pending token recorded as a prefill token, the fused loop's
+    /// τ obeys the same γ+1 bound as the reference loop — before the fix a
+    /// fully-accepting run reported τ = (N·(γ+1) + 1)/N > γ+1.
+    #[test]
+    fn fused_block_efficiency_is_bounded_by_gamma_plus_one() {
+        let model = tiny(90);
+        let mut ws = Workspace::new();
+        for (budget, gamma) in [(24, 5), (19, 3), (30, 2)] {
+            let (out, stats) = speculative_greedy_with_budget_ws(
+                &model,
+                &model,
+                &[4, 2, 8],
+                budget,
+                gamma,
+                &mut ws,
+            );
+            assert_eq!(out.len(), budget);
+            assert_eq!(stats.prefill_tokens, 1);
+            assert_eq!(stats.generated, budget);
+            assert!(
+                stats.block_efficiency() <= (gamma + 1) as f64 + 1e-12,
+                "τ = {} exceeds γ+1 at γ={gamma}",
+                stats.block_efficiency()
+            );
+            // Self-draft: every full block commits exactly γ+1 tokens.
+            assert!(stats.acceptance_rate() > 1.0 - 1e-12);
+        }
+    }
+
+    /// Seeded entry points must reproduce the prompt-based loops when the
+    /// caches are seeded with exactly the prompt (the degenerate prefix).
+    #[test]
+    fn seeded_loops_match_prompt_loops() {
+        let target = tiny(91);
+        let draft = tiny(92);
+        let mut ws = Workspace::new();
+        let p = [7u32, 3, 5, 1];
+        let budget = 20;
+        let want_ar = autoregressive_greedy_with_budget(&target, &p, budget);
+        let (want_spec, want_stats) =
+            speculative_greedy_with_budget_ws(&target, &draft, &p, budget, 4, &mut ws);
+
+        // Seed caches by hand, then call the seeded functions directly.
+        let mut t_cache = target.new_cache();
+        let logits = target.forward_infer(&p, &mut t_cache);
+        let pending = Decoder::greedy_from_logits(&logits);
+        let got_ar =
+            autoregressive_greedy_seeded_ws(&target, &mut t_cache, pending, budget, &mut ws);
+        assert_eq!(got_ar, want_ar);
+
+        let mut t_cache = target.new_cache();
+        let logits = target.forward_infer(&p, &mut t_cache);
+        let pending = Decoder::greedy_from_logits(&logits);
+        let mut d_cache = draft.new_cache();
+        draft.forward_infer(&p, &mut d_cache);
+        let (got_spec, got_stats) = speculative_greedy_seeded_ws(
+            &target,
+            &draft,
+            &mut t_cache,
+            &mut d_cache,
+            pending,
+            budget,
+            4,
+            &mut ws,
+        );
+        assert_eq!(got_spec, want_spec);
+        assert_eq!(got_stats, want_stats);
     }
 
     /// The fold halves per-block target passes: for the same run, the fused

@@ -12,8 +12,17 @@ pub struct SpecStats {
     pub drafted: usize,
     /// Draft tokens accepted by the target.
     pub accepted: usize,
-    /// Tokens committed to the output (accepted + corrections/bonuses).
+    /// Tokens committed to the output (accepted + corrections/bonuses),
+    /// including any prefill-decided tokens. Invariant: equals the output
+    /// length at every loop exit.
     pub generated: usize,
+    /// Tokens decided by the prompt prefill alone and committed without a
+    /// verify block. The reference loop folds that token into its first
+    /// block (so this stays 0); the fused loop emits it up front as the
+    /// initial *pending* token (so this is 1 for any non-empty run). Kept
+    /// separate so [`SpecStats::block_efficiency`] means the same thing on
+    /// both loops.
+    pub prefill_tokens: usize,
 }
 
 impl SpecStats {
@@ -26,13 +35,17 @@ impl SpecStats {
         }
     }
 
-    /// Block efficiency τ: average tokens committed per target verify pass
-    /// (≥ 1; upper-bounded by γ+1).
+    /// Block efficiency τ: average tokens committed **per target verify
+    /// pass**, excluding prefill-decided tokens that never went through a
+    /// verify block (≥ 1 whenever a full block ran; upper-bounded by γ+1 on
+    /// both the reference and the fused loop — the fused loop's pending
+    /// resync token is excluded via [`SpecStats::prefill_tokens`] rather
+    /// than inflating τ past the bound).
     pub fn block_efficiency(&self) -> f64 {
         if self.blocks == 0 {
             0.0
         } else {
-            self.generated as f64 / self.blocks as f64
+            (self.generated - self.prefill_tokens) as f64 / self.blocks as f64
         }
     }
 
@@ -42,6 +55,7 @@ impl SpecStats {
         self.drafted += other.drafted;
         self.accepted += other.accepted;
         self.generated += other.generated;
+        self.prefill_tokens += other.prefill_tokens;
     }
 }
 
@@ -63,12 +77,14 @@ mod tests {
             drafted: 10,
             accepted: 6,
             generated: 8,
+            prefill_tokens: 0,
         };
         let b = SpecStats {
             blocks: 1,
             drafted: 5,
             accepted: 5,
             generated: 6,
+            prefill_tokens: 0,
         };
         a.merge(&b);
         assert_eq!(a.blocks, 3);
@@ -77,5 +93,24 @@ mod tests {
         assert_eq!(a.generated, 14);
         assert!((a.acceptance_rate() - 11.0 / 15.0).abs() < 1e-12);
         assert!((a.block_efficiency() - 14.0 / 3.0).abs() < 1e-12);
+    }
+
+    /// The fused loop's prefill-decided pending token must not inflate τ:
+    /// with γ=2 and full acceptance, 3 blocks commit 9 tokens plus 1
+    /// prefill token; τ is 3 (= γ+1), not 10/3.
+    #[test]
+    fn prefill_tokens_are_excluded_from_block_efficiency() {
+        let s = SpecStats {
+            blocks: 3,
+            drafted: 6,
+            accepted: 6,
+            generated: 10,
+            prefill_tokens: 1,
+        };
+        assert!((s.block_efficiency() - 3.0).abs() < 1e-12);
+        let mut merged = s.clone();
+        merged.merge(&s);
+        assert_eq!(merged.prefill_tokens, 2);
+        assert!((merged.block_efficiency() - 3.0).abs() < 1e-12);
     }
 }

@@ -13,12 +13,13 @@
 //! * [`specdec`] — speculative decoding: batched γ-token verify, the greedy
 //!   draft-then-verify loop, autoregressive reference, α/τ metrics;
 //! * [`train`] — optimizers, LR schedules, CE/KL losses, and the
-//!   self-data distillation loop that aligns a draft to its target.
-//!
-//! Later PRs add the remaining DESIGN.md crates (mllm, data, core,
-//! baselines) and re-export them here.
+//!   self-data distillation loop that aligns a draft to its target;
+//! * [`mm`] — the multimodal core: LlavaSim (ViT + connector + LM), the
+//!   learned KV projector, hybrid-cache speculative decoding with ablation
+//!   switches, and joint draft+projector distillation.
 
 pub use aasd_autograd as autograd;
+pub use aasd_mm as mm;
 pub use aasd_nn as nn;
 pub use aasd_specdec as specdec;
 pub use aasd_tensor as tensor;

@@ -4,8 +4,11 @@
 //! hold and the output must stay lossless.
 
 use aasd::nn::{Decoder, DecoderConfig};
-use aasd::specdec::{autoregressive_greedy_with_budget, speculative_greedy_with_budget, SpecStats};
-use aasd::tensor::Rng;
+use aasd::specdec::{
+    autoregressive_greedy_with_budget, speculative_greedy_with_budget,
+    speculative_greedy_with_budget_ws, SpecStats,
+};
+use aasd::tensor::{Rng, Workspace};
 
 fn model(seed: u64) -> Decoder {
     Decoder::new(DecoderConfig::tiny(32), seed)
@@ -78,6 +81,63 @@ fn spec_stats_invariants_hold_across_random_runs() {
         assert_eq!(out, reference, "{case}: lossless violated");
         assert_eq!(out.len(), budget, "{case}: budget not filled");
         check_invariants(&stats, &out, gamma, &case);
+    }
+}
+
+/// The fused loop's variant of [`check_invariants`]: the initial pending
+/// token is prefill-decided (`prefill_tokens == 1`), so a budget-1 run emits
+/// a token with zero blocks and τ only kicks in once a block has run.
+fn check_fused_invariants(stats: &SpecStats, out: &[u32], gamma: usize, case: &str) {
+    assert!(
+        stats.accepted <= stats.drafted,
+        "{case}: accepted > drafted"
+    );
+    assert_eq!(stats.generated, out.len(), "{case}: generated != emitted");
+    assert_eq!(
+        stats.prefill_tokens,
+        usize::from(!out.is_empty()),
+        "{case}: fused loop must record exactly one prefill token"
+    );
+    assert!(
+        stats.block_efficiency() <= (gamma + 1) as f64 + 1e-12,
+        "{case}: τ {} > γ+1",
+        stats.block_efficiency()
+    );
+    if out.len() > stats.prefill_tokens {
+        assert!(stats.blocks >= 1, "{case}: verified tokens without a block");
+        assert!(
+            stats.block_efficiency() >= 1.0 - 1e-12,
+            "{case}: τ {} < 1",
+            stats.block_efficiency()
+        );
+    }
+}
+
+/// KV-capacity boundary sweep for the FUSED loop: prompts within γ of
+/// `max_seq` force the room clamp and the g = 0 fallback, budgets run flush
+/// to the `max_seq + 1` frontier, and rollback happens at the cache
+/// boundary. Lossless and bounded everywhere.
+#[test]
+fn fused_loop_boundary_sweep_stays_lossless_and_bounded() {
+    let mut rng = Rng::new(0xF05D);
+    let max_seq = DecoderConfig::tiny(32).max_seq;
+    let mut ws = Workspace::new();
+    for gamma in [2usize, 5] {
+        // Prompts from γ+2 below the window up to flush against it.
+        for slack in 1..=gamma + 2 {
+            let prompt_len = max_seq - slack;
+            let prompt = random_prompt(&mut rng, prompt_len, 32);
+            let target = model(300 + slack as u64);
+            let draft = model(400 + slack as u64);
+            let budget = max_seq + 1 - prompt_len; // fill to the frontier
+            let case = format!("fused boundary: slack={slack} γ={gamma} budget={budget}");
+            let reference = autoregressive_greedy_with_budget(&target, &prompt, budget);
+            let (out, stats) =
+                speculative_greedy_with_budget_ws(&target, &draft, &prompt, budget, gamma, &mut ws);
+            assert_eq!(out, reference, "{case}: lossless violated");
+            assert_eq!(out.len(), budget, "{case}: budget not filled");
+            check_fused_invariants(&stats, &out, gamma, &case);
+        }
     }
 }
 
