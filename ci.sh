@@ -31,7 +31,14 @@ if [[ "${1:-}" != "--quick" ]]; then
     cargo test -q -p aasd --test mm_lossless
     cargo test -q -p aasd --test kv_boundary
 
-    echo "==> perf snapshot smoke (every bench section incl. multimodal)"
+    echo "==> serving stack (engine scheduling + TCP server smoke)"
+    cargo test -q -p aasd-serve
+    cargo test -q -p aasd --test serving_determinism
+    # Ephemeral-port TCP server: 3 concurrent clients over the wire, every
+    # completion asserted token-identical to the fused single-request loop.
+    cargo test -q -p aasd --test server_smoke
+
+    echo "==> perf snapshot smoke (every bench section incl. multimodal + serving)"
     cargo run --release -q -p aasd-bench --bin perf_snapshot -- /tmp/bench_smoke.json --smoke
 
     echo "==> cargo fmt --check"

@@ -80,53 +80,12 @@ pub fn report(r: &BenchResult) {
     );
 }
 
-/// Minimal JSON value writer (std-only `serde_json` stand-in) for the
-/// perf-snapshot output. Only what the harness needs: objects, arrays,
-/// strings, and finite numbers.
+/// Minimal JSON value writer for the perf-snapshot output. The
+/// implementation lives in the shared `aasd-json` crate (the serving
+/// metrics endpoint uses the same writer); this re-export keeps the
+/// historical `aasd_bench::json` import path working.
 pub mod json {
-    /// Escape a string for a JSON literal.
-    pub fn escape(s: &str) -> String {
-        let mut out = String::with_capacity(s.len() + 2);
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\t' => out.push_str("\\t"),
-                '\r' => out.push_str("\\r"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out
-    }
-
-    /// Format an f64 as a JSON number (finite; falls back to 0 otherwise,
-    /// since JSON has no NaN/Inf).
-    pub fn num(x: f64) -> String {
-        if x.is_finite() {
-            format!("{x:.6}")
-        } else {
-            "0".to_string()
-        }
-    }
-
-    /// `key: value` pair with a pre-rendered value.
-    pub fn field(key: &str, rendered_value: &str) -> String {
-        format!("\"{}\": {}", escape(key), rendered_value)
-    }
-
-    pub fn string(s: &str) -> String {
-        format!("\"{}\"", escape(s))
-    }
-
-    pub fn object(fields: &[String]) -> String {
-        format!("{{{}}}", fields.join(", "))
-    }
-
-    pub fn array(items: &[String]) -> String {
-        format!("[{}]", items.join(", "))
-    }
+    pub use aasd_json::*;
 }
 
 #[cfg(test)]

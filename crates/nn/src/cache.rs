@@ -98,6 +98,18 @@ impl LayerKv {
         self.len = new_len;
     }
 
+    /// Return the layer to its freshly-allocated state **without freeing the
+    /// buffers**: length back to 0 and every slot rezeroed, so a reset layer
+    /// is bit-identical to `LayerKv::new(max_seq, dim)` (asserted by
+    /// `reset_is_bit_identical_to_fresh` below). This is what lets a serving
+    /// session slot reuse one long-lived cache across requests instead of
+    /// reallocating per request.
+    pub fn reset(&mut self) {
+        self.k.fill(0.0);
+        self.v.fill(0.0);
+        self.len = 0;
+    }
+
     /// Stable address of the key buffer (used by tests to prove the
     /// no-reallocation property).
     pub fn key_buffer_ptr(&self) -> *const f32 {
@@ -109,12 +121,41 @@ impl LayerKv {
 #[derive(Debug, Clone)]
 pub struct KvCache {
     pub layers: Vec<LayerKv>,
+    /// Minimum length reached since the last [`KvCache::checkpoint`] (or
+    /// creation/reset). Rows below this mark have never been overwritten,
+    /// which is exactly the condition under which a checkpoint is
+    /// restorable — see [`KvCache::restore`].
+    low_mark: usize,
+}
+
+/// A saved committed-prefix position of a [`KvCache`], produced by
+/// [`KvCache::checkpoint`]. Because appends only ever overwrite positions at
+/// or past the current length, restoring is an O(1) truncate — no KV rows
+/// are copied — provided the cache never went *below* the checkpointed
+/// length in between (tracked by the cache's low-watermark).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvCheckpoint {
+    len: usize,
+}
+
+impl KvCheckpoint {
+    /// The committed length this checkpoint restores to.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
 }
 
 impl KvCache {
     pub fn new(n_layers: usize, max_seq: usize, dim: usize) -> Self {
         Self {
             layers: (0..n_layers).map(|_| LayerKv::new(max_seq, dim)).collect(),
+            low_mark: 0,
         }
     }
 
@@ -137,6 +178,54 @@ impl KvCache {
         for layer in &mut self.layers {
             layer.truncate(new_len);
         }
+        self.low_mark = self.low_mark.min(new_len);
+    }
+
+    /// Return the cache to its freshly-allocated state without freeing any
+    /// buffer: every layer rezeroed and empty (see [`LayerKv::reset`]).
+    /// Serving session slots call this between requests so one long-lived
+    /// allocation serves the whole process lifetime.
+    pub fn reset(&mut self) {
+        for layer in &mut self.layers {
+            layer.reset();
+        }
+        self.low_mark = 0;
+    }
+
+    /// Record the current committed length for a later O(1)
+    /// [`KvCache::restore`]. Taking a checkpoint rearms the low-watermark,
+    /// so only the **most recent** checkpoint is guaranteed restorable.
+    ///
+    /// The serving use case: checkpoint right after prompt prefill, decode
+    /// speculatively (which only truncates back to committed frontiers at or
+    /// past the prefill), then restore to regenerate from the same prompt —
+    /// or to unwind a cancelled speculative block — without re-running
+    /// prefill.
+    pub fn checkpoint(&mut self) -> KvCheckpoint {
+        self.low_mark = self.len();
+        KvCheckpoint { len: self.len() }
+    }
+
+    /// Restore to a [`KvCheckpoint`] taken on this cache. O(1): rows in
+    /// `[0, cp.len)` are untouched since the checkpoint (enforced via the
+    /// low-watermark — if the cache was truncated below the checkpointed
+    /// length in between, those rows were overwritten and restoring would
+    /// silently resurrect stale KV, so this panics instead).
+    pub fn restore(&mut self, cp: &KvCheckpoint) {
+        assert!(
+            cp.len <= self.len(),
+            "checkpoint ({}) is ahead of the cache ({}); cannot restore forward",
+            cp.len,
+            self.len()
+        );
+        assert!(
+            self.low_mark >= cp.len,
+            "cache was truncated below the checkpoint ({} < {}) since it was \
+             taken; its rows are stale",
+            self.low_mark,
+            cp.len
+        );
+        self.truncate(cp.len);
     }
 }
 
@@ -187,6 +276,97 @@ mod tests {
         let mut layer = LayerKv::new(1, 2);
         layer.append(&[0.0, 0.0], &[0.0, 0.0]);
         layer.append(&[0.0, 0.0], &[0.0, 0.0]);
+    }
+
+    /// `reset` must leave the layer **bit-identical** to a freshly
+    /// allocated one — not just empty, but with every slot rezeroed — while
+    /// keeping the original buffer (no reallocation). This is the contract
+    /// session-slot reuse relies on: a request served from a reset cache
+    /// computes exactly what it would from a new cache.
+    #[test]
+    fn reset_is_bit_identical_to_fresh() {
+        let (max_seq, dim) = (8, 3);
+        let mut layer = LayerKv::new(max_seq, dim);
+        let ptr = layer.key_buffer_ptr();
+        for i in 0..max_seq {
+            let row = vec![i as f32 + 0.5; dim];
+            layer.append(&row, &row);
+        }
+        layer.truncate(2);
+        layer.reset();
+
+        let fresh = LayerKv::new(max_seq, dim);
+        assert_eq!(layer.len(), fresh.len());
+        assert_eq!(layer.dim, fresh.dim);
+        assert_eq!(layer.max_seq, fresh.max_seq);
+        // Full-buffer comparison, beyond the visible `len` window: bitwise.
+        assert_eq!(
+            layer.k.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            fresh.k.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            layer.v.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            fresh.v.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(ptr, layer.key_buffer_ptr(), "reset reallocated the cache");
+    }
+
+    #[test]
+    fn cache_reset_covers_all_layers() {
+        let mut cache = KvCache::new(2, 4, 2);
+        let row = [1.0f32, 2.0];
+        for layer in &mut cache.layers {
+            layer.append(&row, &row);
+        }
+        cache.reset();
+        assert_eq!(cache.len(), 0);
+        for layer in &cache.layers {
+            assert!(layer.k.iter().all(|&x| x == 0.0));
+            assert!(layer.v.iter().all(|&x| x == 0.0));
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrip() {
+        let mut cache = KvCache::new(1, 8, 2);
+        let append = |c: &mut KvCache, x: f32| {
+            for layer in &mut c.layers {
+                layer.append(&[x, x], &[x, x]);
+            }
+        };
+        append(&mut cache, 1.0);
+        append(&mut cache, 2.0);
+        let cp = cache.checkpoint();
+        assert_eq!(cp.len(), 2);
+        // Speculative traffic past the checkpoint: append, roll back (never
+        // below the checkpoint), append again.
+        append(&mut cache, 3.0);
+        append(&mut cache, 4.0);
+        cache.truncate(3);
+        append(&mut cache, 5.0);
+        cache.restore(&cp);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.layers[0].key(0), &[1.0, 1.0]);
+        assert_eq!(cache.layers[0].key(1), &[2.0, 2.0]);
+    }
+
+    /// Restoring after the cache dipped below the checkpointed length must
+    /// panic: the checkpointed rows were overwritten and are stale.
+    #[test]
+    #[should_panic(expected = "truncated below the checkpoint")]
+    fn restore_after_deeper_truncate_panics() {
+        let mut cache = KvCache::new(1, 8, 2);
+        for layer in &mut cache.layers {
+            layer.append(&[1.0, 1.0], &[1.0, 1.0]);
+            layer.append(&[2.0, 2.0], &[2.0, 2.0]);
+        }
+        let cp = cache.checkpoint();
+        cache.truncate(1); // below the checkpoint: rows [1, 2) now invalid
+        for layer in &mut cache.layers {
+            layer.append(&[9.0, 9.0], &[9.0, 9.0]);
+            layer.append(&[8.0, 8.0], &[8.0, 8.0]);
+        }
+        cache.restore(&cp);
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod layers;
 pub mod rope;
 
 pub use attention::Attention;
-pub use cache::{KvCache, LayerKv};
+pub use cache::{KvCache, KvCheckpoint, LayerKv};
 pub use decoder::{Decoder, DecoderBlock, DecoderConfig, Mlp};
 pub use layers::{Embedding, Linear, RmsNorm};
 pub use rope::Rope;

@@ -1,0 +1,887 @@
+//! The serving engine: session slots, FIFO admission queue, and the
+//! block-granular continuous-batching scheduler.
+//!
+//! ## Architecture
+//!
+//! * **Slots** — the engine owns `cfg.slots` long-lived [`Slot`]s, each with
+//!   its own target/draft [`KvCache`] pair and [`Workspace`], allocated once
+//!   at engine construction and *reset* (never reallocated) between
+//!   requests — `KvCache::reset` is the contract that makes a reused slot
+//!   compute exactly what a fresh one would.
+//! * **Queue** — admitted requests wait in a FIFO behind a small mutex.
+//!   Admission control is a hard cap (`cfg.max_queue`): a full queue rejects
+//!   instead of buffering unboundedly, so latency under overload degrades by
+//!   turning clients away, not by growing an invisible backlog.
+//! * **Scheduler** — [`Engine::tick`] is one scheduling round: free slots
+//!   are refilled from the queue (continuous batching — a finished session's
+//!   slot is reused on the very next round, mid-flight neighbours never
+//!   restart), then every active session advances **one speculative block**
+//!   (or one token for autoregressive sessions), round-robin across
+//!   `cfg.workers` scoped threads. Sessions are fully independent — each
+//!   owns its caches and scratch — so worker count changes wall-clock
+//!   interleaving but can never change any session's token stream (pinned by
+//!   the root determinism test).
+//!
+//! Losslessness survives scheduling by construction: the per-block state
+//! machine a slot steps ([`SpecSession`]) is the *same* one the one-shot
+//! fused loops drive, so a served completion is token-identical to a
+//! single-request `speculative_greedy_seeded_ws` run with the same models
+//! and prompt.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use aasd_mm::{seed_draft_prefix, Ablation, Image, KvProjector, LlavaSim};
+use aasd_nn::{Decoder, KvCache};
+use aasd_specdec::{ArSession, SpecSession, MAX_GAMMA};
+use aasd_tensor::{argmax, Rng, Workspace};
+
+use crate::metrics::Metrics;
+use crate::request::{DecodeMode, Request, RequestHandle, RequestId, Status};
+
+/// The model bundle an engine serves. One engine serves one family; the
+/// text and multimodal paths differ only in prefill and draft-cache
+/// seeding — the per-block scheduling is identical.
+pub enum EngineModel {
+    Text {
+        target: Arc<Decoder>,
+        draft: Arc<Decoder>,
+    },
+    /// LlavaSim target with a hybrid-cache draft: the draft's vision prefix
+    /// is seeded per `ablation` (learned [`KvProjector`] rows by default)
+    /// before the text prefill, exactly like `mm_speculative_ws`.
+    Multimodal {
+        model: Arc<LlavaSim>,
+        draft: Arc<Decoder>,
+        projector: Arc<KvProjector>,
+        ablation: Ablation,
+    },
+}
+
+impl EngineModel {
+    fn target_lm(&self) -> &Decoder {
+        match self {
+            EngineModel::Text { target, .. } => target,
+            EngineModel::Multimodal { model, .. } => &model.lm,
+        }
+    }
+
+    fn draft(&self) -> &Decoder {
+        match self {
+            EngineModel::Text { draft, .. } | EngineModel::Multimodal { draft, .. } => draft,
+        }
+    }
+}
+
+/// Scheduler/admission knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Concurrent sessions (one KV-cache pair + workspace each).
+    pub slots: usize,
+    /// Worker threads a tick fans sessions across (`std::thread::scope`).
+    /// 1 steps every session inline with zero spawn overhead.
+    pub workers: usize,
+    /// Admission cap: a submit that would push the queue past this is
+    /// rejected with [`Rejection::Busy`].
+    pub max_queue: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            slots: 4,
+            workers: 1,
+            max_queue: 64,
+        }
+    }
+}
+
+/// Why a submit was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejection {
+    /// Admission control: queue at capacity. Retry later.
+    Busy,
+    /// The request can never run on this engine (bad γ, empty prompt,
+    /// prompt past the context window, image on a text engine, …).
+    Invalid(String),
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::Busy => write!(f, "queue full"),
+            Rejection::Invalid(msg) => write!(f, "invalid request: {msg}"),
+        }
+    }
+}
+
+/// The decode state machine a slot is driving.
+enum Phase {
+    /// Admitted but not yet prefilled; prefill happens on the slot's first
+    /// scheduling turn so TTFT honestly includes queue wait + prefill.
+    Prefill(Request),
+    Spec(SpecSession),
+    Ar(ArSession),
+}
+
+struct Active {
+    handle: Arc<RequestHandle>,
+    phase: Phase,
+    /// Tokens already published to the handle (monotone cursor into the
+    /// session's output).
+    published: usize,
+}
+
+/// One long-lived session slot: caches + scratch allocated once, reset per
+/// request.
+struct Slot {
+    t_cache: KvCache,
+    d_cache: KvCache,
+    ws: Workspace,
+    active: Option<Active>,
+}
+
+struct QueueState {
+    queue: VecDeque<Active>,
+    next_id: RequestId,
+    /// Every admitted request's handle, kept for the engine's lifetime so
+    /// clients can poll by id after completion (the handle is a few dozen
+    /// bytes plus the token vector; an engine serving a bounded bench run
+    /// never accumulates enough to matter).
+    handles: HashMap<RequestId, Arc<RequestHandle>>,
+}
+
+/// The multi-session speculative-decoding engine.
+pub struct Engine {
+    cfg: EngineConfig,
+    model: EngineModel,
+    metrics: Arc<Metrics>,
+    qstate: Mutex<QueueState>,
+    /// Held for the whole of a tick; submit/poll/cancel never take it.
+    slots: Mutex<Vec<Slot>>,
+    work_cv: Condvar,
+}
+
+impl Engine {
+    pub fn new(model: EngineModel, cfg: EngineConfig) -> Arc<Self> {
+        assert!(cfg.slots >= 1, "engine needs at least one slot");
+        assert!(cfg.workers >= 1, "engine needs at least one worker");
+        let slots = (0..cfg.slots)
+            .map(|_| Slot {
+                t_cache: model.target_lm().new_cache(),
+                d_cache: model.draft().new_cache(),
+                ws: Workspace::new(),
+                active: None,
+            })
+            .collect();
+        Arc::new(Self {
+            cfg,
+            model,
+            metrics: Arc::new(Metrics::new()),
+            qstate: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                next_id: 1,
+                handles: HashMap::new(),
+            }),
+            slots: Mutex::new(slots),
+            work_cv: Condvar::new(),
+        })
+    }
+
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Validate + admit a request. Returns the handle clients poll.
+    pub fn submit(&self, req: Request) -> Result<Arc<RequestHandle>, Rejection> {
+        if let Err(msg) = self.validate(&req) {
+            self.metrics.requests_rejected.inc();
+            return Err(Rejection::Invalid(msg));
+        }
+        let mut q = self.qstate.lock().unwrap();
+        if q.queue.len() >= self.cfg.max_queue {
+            self.metrics.requests_rejected.inc();
+            return Err(Rejection::Busy);
+        }
+        let id = q.next_id;
+        q.next_id += 1;
+        let handle = Arc::new(RequestHandle::new(id));
+        q.handles.insert(id, Arc::clone(&handle));
+        q.queue.push_back(Active {
+            handle: Arc::clone(&handle),
+            phase: Phase::Prefill(req),
+            published: 0,
+        });
+        self.metrics.requests_submitted.inc();
+        self.metrics.queue_depth.set(q.queue.len() as u64);
+        drop(q);
+        self.work_cv.notify_all();
+        Ok(handle)
+    }
+
+    fn validate(&self, req: &Request) -> Result<(), String> {
+        if req.prompt.is_empty() {
+            return Err("empty prompt".into());
+        }
+        if req.max_new == 0 {
+            return Err("max_new must be >= 1".into());
+        }
+        if let DecodeMode::Speculative { gamma } = req.mode {
+            if !(1..MAX_GAMMA).contains(&gamma) {
+                return Err(format!("gamma must be in 1..{MAX_GAMMA}"));
+            }
+        }
+        let vocab = self.model.target_lm().cfg.vocab as u32;
+        if let Some(&t) = req.prompt.iter().find(|&&t| t >= vocab) {
+            return Err(format!("prompt token {t} outside vocab {vocab}"));
+        }
+        // The committed prefix the prompt occupies in each cache; every
+        // request must leave at least one token of decode room.
+        let (t_prefix, d_prefix) = match &self.model {
+            EngineModel::Text { .. } => {
+                if req.image_seed.is_some() {
+                    return Err("image_seed on a text-only engine".into());
+                }
+                (req.prompt.len(), req.prompt.len())
+            }
+            EngineModel::Multimodal { model, .. } => {
+                if req.image_seed.is_none() {
+                    return Err("multimodal engine requires image_seed".into());
+                }
+                // Conservative draft bound: the raw-vision ablation seeds
+                // the full n_img prefix.
+                (
+                    model.n_img() + req.prompt.len(),
+                    model.n_img() + req.prompt.len(),
+                )
+            }
+        };
+        if t_prefix > self.model.target_lm().cfg.max_seq {
+            return Err("prompt exceeds target context window".into());
+        }
+        if matches!(req.mode, DecodeMode::Speculative { .. })
+            && d_prefix > self.model.draft().cfg.max_seq
+        {
+            return Err("prompt exceeds draft context window".into());
+        }
+        Ok(())
+    }
+
+    /// Look up a request's handle by id (wire-protocol clients only hold
+    /// ids).
+    pub fn handle(&self, id: RequestId) -> Option<Arc<RequestHandle>> {
+        self.qstate.lock().unwrap().handles.get(&id).cloned()
+    }
+
+    /// Snapshot a request's status and committed tokens by id.
+    pub fn poll(&self, id: RequestId) -> Option<(Status, Vec<u32>)> {
+        self.handle(id).map(|h| h.snapshot())
+    }
+
+    /// Request cancellation by id. Queued requests are dropped at the next
+    /// refill; running ones stop at their next block boundary. Returns
+    /// false if the id was never seen or already reached a terminal state.
+    ///
+    /// (Going through a held [`RequestHandle`] via `handle.cancel()` is
+    /// equivalent; this lookup exists for the wire protocol.)
+    pub fn cancel(&self, id: RequestId) -> bool {
+        let Some(handle) = self.handle(id) else {
+            return false;
+        };
+        if matches!(handle.snapshot().0, Status::Done | Status::Cancelled) {
+            return false;
+        }
+        handle.cancel();
+        true
+    }
+
+    /// One scheduling round; returns true if any session advanced (work was
+    /// done). Not re-entrant — the slots mutex serializes concurrent ticks.
+    pub fn tick(&self) -> bool {
+        let mut slots = self.slots.lock().unwrap();
+        self.refill(&mut slots);
+        let active = slots.iter().filter(|s| s.active.is_some()).count();
+        self.metrics.active_sessions.set(active as u64);
+        if active == 0 {
+            return false;
+        }
+        self.metrics.scheduler_ticks.inc();
+        let workers = self.cfg.workers.min(active);
+        if workers <= 1 {
+            for slot in slots.iter_mut() {
+                self.step_slot(slot);
+            }
+        } else {
+            // Round-robin the occupied slots across scoped workers. Shards
+            // own disjoint &mut Slot sets; the models/metrics are shared
+            // read-only/atomic, so this is data-race-free by construction.
+            let mut shards: Vec<Vec<&mut Slot>> = (0..workers).map(|_| Vec::new()).collect();
+            for (i, slot) in slots.iter_mut().filter(|s| s.active.is_some()).enumerate() {
+                shards[i % workers].push(slot);
+            }
+            std::thread::scope(|scope| {
+                for shard in shards {
+                    scope.spawn(move || {
+                        for slot in shard {
+                            self.step_slot(slot);
+                        }
+                    });
+                }
+            });
+        }
+        true
+    }
+
+    /// Drive the engine until queue and slots are empty (synchronous mode,
+    /// used by benches and tests; the server runs [`Engine::tick`] on a
+    /// scheduler thread instead).
+    pub fn run_until_idle(&self) {
+        while self.tick() || !self.qstate.lock().unwrap().queue.is_empty() {}
+    }
+
+    /// Park until work arrives or the timeout elapses (scheduler-thread
+    /// idle wait).
+    pub fn wait_for_work(&self, timeout: std::time::Duration) {
+        let q = self.qstate.lock().unwrap();
+        if q.queue.is_empty() {
+            let _ = self.work_cv.wait_timeout(q, timeout).unwrap();
+        }
+    }
+
+    /// Cancel everything queued or running (server shutdown drain).
+    pub fn cancel_all(&self) {
+        {
+            let q = self.qstate.lock().unwrap();
+            for a in q.queue.iter() {
+                a.handle.cancel();
+            }
+        }
+        let slots = self.slots.lock().unwrap();
+        for slot in slots.iter() {
+            if let Some(a) = &slot.active {
+                a.handle.cancel();
+            }
+        }
+    }
+
+    /// Move queued requests into free slots (FIFO), dropping cancelled
+    /// entries. Called at the top of every tick, so a slot freed by a
+    /// completion in round N is serving the next queued request in round
+    /// N+1 — no slot ever idles while the queue is non-empty.
+    fn refill(&self, slots: &mut [Slot]) {
+        let mut q = self.qstate.lock().unwrap();
+        for slot in slots.iter_mut().filter(|s| s.active.is_none()) {
+            let next = loop {
+                match q.queue.pop_front() {
+                    Some(a) if a.handle.is_cancel_requested() => {
+                        a.handle.finish(Status::Cancelled, None);
+                        self.metrics.requests_cancelled.inc();
+                    }
+                    other => break other,
+                }
+            };
+            let Some(active) = next else { break };
+            // The slot's caches may hold a previous request's KV; reset
+            // returns them to the freshly-allocated state (bit-identical —
+            // see `LayerKv::reset`) without touching the heap.
+            slot.t_cache.reset();
+            slot.d_cache.reset();
+            active.handle.mark_running();
+            slot.active = Some(active);
+        }
+        self.metrics.queue_depth.set(q.queue.len() as u64);
+    }
+
+    /// Advance one slot by one unit of work: prefill on the session's first
+    /// turn, afterwards one speculative block (or one AR token).
+    fn step_slot(&self, slot: &mut Slot) {
+        let Some(active) = slot.active.as_mut() else {
+            return;
+        };
+        if active.handle.is_cancel_requested() {
+            let stats = match &active.phase {
+                Phase::Spec(s) => Some(s.stats().clone()),
+                _ => None,
+            };
+            if let Some(s) = &stats {
+                self.metrics.merge_spec_stats(s);
+            }
+            active.handle.finish(Status::Cancelled, stats);
+            self.metrics.requests_cancelled.inc();
+            slot.active = None;
+            return;
+        }
+        let started = Instant::now();
+        match &mut active.phase {
+            Phase::Prefill(req) => {
+                let req = req.clone();
+                let phase = self.prefill(&req, slot);
+                let active = slot.active.as_mut().unwrap();
+                active.phase = phase;
+                // Publish the prefill-decided first token (TTFT = queue
+                // wait + prefill).
+                let tokens_now = match &active.phase {
+                    Phase::Spec(s) => s.tokens().len(),
+                    Phase::Ar(s) => s.tokens().len(),
+                    Phase::Prefill(_) => unreachable!(),
+                };
+                debug_assert_eq!(tokens_now, 1);
+                match &active.phase {
+                    Phase::Spec(s) => active.handle.push_tokens(&s.tokens()[..tokens_now]),
+                    Phase::Ar(s) => active.handle.push_tokens(&s.tokens()[..tokens_now]),
+                    Phase::Prefill(_) => unreachable!(),
+                }
+                active.published = tokens_now;
+                self.metrics.tokens_generated.add(tokens_now as u64);
+                if let Some(ttft) = active.handle.ttft_ms() {
+                    self.metrics.ttft_ms.record_ms(ttft);
+                }
+                let done = match &active.phase {
+                    Phase::Spec(s) => s.is_done(),
+                    Phase::Ar(s) => s.is_done(),
+                    Phase::Prefill(_) => unreachable!(),
+                };
+                if done {
+                    self.finish_slot(slot);
+                }
+            }
+            Phase::Spec(session) => {
+                let report = session.step_block(
+                    self.model.target_lm(),
+                    self.model.draft(),
+                    &mut slot.t_cache,
+                    &mut slot.d_cache,
+                    &mut slot.ws,
+                );
+                let block_ms = started.elapsed().as_secs_f64() * 1e3;
+                self.metrics.block_ms.record_ms(block_ms);
+                if report.committed > 0 {
+                    let new = &session.tokens()[active.published..];
+                    debug_assert_eq!(new.len(), report.committed);
+                    active.handle.push_tokens(new);
+                    active.published += report.committed;
+                    self.metrics.tokens_generated.add(report.committed as u64);
+                    for _ in 0..report.committed {
+                        self.metrics
+                            .token_ms
+                            .record_ms(block_ms / report.committed as f64);
+                    }
+                }
+                if report.done {
+                    self.finish_slot(slot);
+                }
+            }
+            Phase::Ar(session) => {
+                let report = session.step(self.model.target_lm(), &mut slot.t_cache, &mut slot.ws);
+                let block_ms = started.elapsed().as_secs_f64() * 1e3;
+                self.metrics.block_ms.record_ms(block_ms);
+                if report.committed > 0 {
+                    let new = &session.tokens()[active.published..];
+                    active.handle.push_tokens(new);
+                    active.published += report.committed;
+                    self.metrics.tokens_generated.add(report.committed as u64);
+                    self.metrics.token_ms.record_ms(block_ms);
+                }
+                if report.done {
+                    self.finish_slot(slot);
+                }
+            }
+        }
+    }
+
+    /// Prefill the slot's caches for `req` and build its decode session.
+    fn prefill(&self, req: &Request, slot: &mut Slot) -> Phase {
+        debug_assert!(slot.t_cache.is_empty() && slot.d_cache.is_empty());
+        let target = self.model.target_lm();
+        let draft = self.model.draft();
+        let ws = &mut slot.ws;
+
+        // Target prefill → the pending token.
+        let pending = match &self.model {
+            EngineModel::Text { .. } => {
+                let vocab = target.cfg.vocab;
+                let mut logits = ws.take(req.prompt.len() * vocab);
+                target.forward_infer_ws(&req.prompt, &mut slot.t_cache, ws, &mut logits);
+                let pending = argmax(&logits[(req.prompt.len() - 1) * vocab..]) as u32;
+                ws.give(logits);
+                pending
+            }
+            EngineModel::Multimodal { model, .. } => {
+                let seed = req.image_seed.expect("validated at submit");
+                let img = Image::synthetic(
+                    &mut Rng::new(seed),
+                    model.cfg.vision.n_patches,
+                    model.cfg.vision.patch_dim,
+                );
+                model.prefill_ws(&img, &req.prompt, &mut slot.t_cache, ws)
+            }
+        };
+
+        match req.mode {
+            DecodeMode::Autoregressive => {
+                let budget = req.max_new.min(target.cfg.max_seq + 1 - slot.t_cache.len());
+                Phase::Ar(ArSession::new(target, &slot.t_cache, pending, budget))
+            }
+            DecodeMode::Speculative { gamma } => {
+                // Draft prefill: text prompt, preceded in the multimodal
+                // case by the ablation-selected vision prefix (hybrid
+                // cache, same seeding as `mm_speculative_ws`).
+                match &self.model {
+                    EngineModel::Text { .. } => {
+                        let mut d_logits = ws.take(req.prompt.len() * draft.cfg.vocab);
+                        draft.forward_infer_ws(&req.prompt, &mut slot.d_cache, ws, &mut d_logits);
+                        ws.give(d_logits);
+                    }
+                    EngineModel::Multimodal {
+                        model,
+                        projector,
+                        ablation,
+                        ..
+                    } => {
+                        seed_draft_prefix(
+                            model,
+                            Some(projector),
+                            *ablation,
+                            &slot.t_cache,
+                            &mut slot.d_cache,
+                        );
+                        if !ablation.drop_text_kv {
+                            let mut d_logits = ws.take(req.prompt.len() * draft.cfg.vocab);
+                            draft.forward_infer_ws(
+                                &req.prompt,
+                                &mut slot.d_cache,
+                                ws,
+                                &mut d_logits,
+                            );
+                            ws.give(d_logits);
+                        }
+                    }
+                }
+                let budget = req
+                    .max_new
+                    .min(target.cfg.max_seq + 1 - slot.t_cache.len())
+                    .min(draft.cfg.max_seq + 1 - slot.d_cache.len());
+                Phase::Spec(SpecSession::new(
+                    target,
+                    draft,
+                    &slot.t_cache,
+                    &slot.d_cache,
+                    pending,
+                    budget,
+                    gamma,
+                ))
+            }
+        }
+    }
+
+    /// Completion bookkeeping; the freed slot is refilled on the next tick.
+    fn finish_slot(&self, slot: &mut Slot) {
+        let active = slot.active.take().expect("finishing an empty slot");
+        let stats = match active.phase {
+            Phase::Spec(session) => {
+                let (_, stats) = session.into_parts();
+                self.metrics.merge_spec_stats(&stats);
+                Some(stats)
+            }
+            _ => None,
+        };
+        active.handle.finish(Status::Done, stats);
+        self.metrics.requests_completed.inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aasd_nn::DecoderConfig;
+    use aasd_specdec::{autoregressive_greedy_with_budget_ws, speculative_greedy_with_budget_ws};
+
+    fn text_engine(slots: usize, workers: usize, max_queue: usize) -> Arc<Engine> {
+        let target = Arc::new(Decoder::new(DecoderConfig::tiny(40), 10));
+        let draft = Arc::new(Decoder::new(DecoderConfig::tiny(40), 20));
+        Engine::new(
+            EngineModel::Text { target, draft },
+            EngineConfig {
+                slots,
+                workers,
+                max_queue,
+            },
+        )
+    }
+
+    fn spec_req(prompt: Vec<u32>, max_new: usize, gamma: usize) -> Request {
+        Request {
+            prompt,
+            max_new,
+            mode: DecodeMode::Speculative { gamma },
+            image_seed: None,
+        }
+    }
+
+    /// A served speculative completion must equal the one-shot fused loop
+    /// on the same models — losslessness survives scheduling.
+    #[test]
+    fn served_completion_matches_one_shot_loop() {
+        let engine = text_engine(2, 1, 8);
+        let target = Decoder::new(DecoderConfig::tiny(40), 10);
+        let draft = Decoder::new(DecoderConfig::tiny(40), 20);
+        let mut ws = Workspace::new();
+        let prompt = vec![3u32, 7, 1, 9];
+        let (want, want_stats) =
+            speculative_greedy_with_budget_ws(&target, &draft, &prompt, 24, 4, &mut ws);
+
+        let h = engine.submit(spec_req(prompt, 24, 4)).unwrap();
+        engine.run_until_idle();
+        let (status, tokens) = h.snapshot();
+        assert_eq!(status, Status::Done);
+        assert_eq!(tokens, want);
+        assert_eq!(h.stats().unwrap(), want_stats);
+        assert_eq!(engine.metrics().requests_completed.get(), 1);
+        assert_eq!(engine.metrics().tokens_generated.get(), 24);
+        assert!(h.ttft_ms().is_some());
+    }
+
+    /// AR sessions served through the engine match the fused AR loop.
+    #[test]
+    fn served_ar_matches_one_shot_loop() {
+        let engine = text_engine(1, 1, 8);
+        let target = Decoder::new(DecoderConfig::tiny(40), 10);
+        let mut ws = Workspace::new();
+        let prompt = vec![5u32, 2, 8];
+        let want = autoregressive_greedy_with_budget_ws(&target, &prompt, 15, &mut ws);
+        let h = engine
+            .submit(Request {
+                prompt,
+                max_new: 15,
+                mode: DecodeMode::Autoregressive,
+                image_seed: None,
+            })
+            .unwrap();
+        engine.run_until_idle();
+        assert_eq!(h.snapshot(), (Status::Done, want));
+    }
+
+    /// More requests than slots: continuous batching must finish them all,
+    /// each lossless, with the queue draining FIFO.
+    #[test]
+    fn oversubscribed_queue_drains_losslessly() {
+        let engine = text_engine(2, 1, 16);
+        let target = Decoder::new(DecoderConfig::tiny(40), 10);
+        let draft = Decoder::new(DecoderConfig::tiny(40), 20);
+        let mut ws = Workspace::new();
+        let prompts: Vec<Vec<u32>> = (0..6)
+            .map(|i| vec![1 + i as u32, 7, (i * 3 % 11) as u32])
+            .collect();
+        let handles: Vec<_> = prompts
+            .iter()
+            .map(|p| {
+                engine
+                    .submit(spec_req(p.clone(), 12 + p[0] as usize, 3))
+                    .unwrap()
+            })
+            .collect();
+        engine.run_until_idle();
+        for (p, h) in prompts.iter().zip(&handles) {
+            let (want, _) = speculative_greedy_with_budget_ws(
+                &target,
+                &draft,
+                p,
+                12 + p[0] as usize,
+                3,
+                &mut ws,
+            );
+            let (status, tokens) = h.snapshot();
+            assert_eq!(status, Status::Done, "request {} not done", h.id);
+            assert_eq!(tokens, want, "request {} diverged", h.id);
+        }
+        assert_eq!(engine.metrics().requests_completed.get(), 6);
+        assert_eq!(engine.metrics().queue_depth.get(), 0);
+    }
+
+    /// Admission control: submits past `max_queue` are rejected Busy, and
+    /// invalid requests are rejected outright without consuming queue room.
+    #[test]
+    fn admission_control_rejects() {
+        let engine = text_engine(1, 1, 2);
+        // Valid fills.
+        for _ in 0..2 {
+            engine.submit(spec_req(vec![1, 2], 8, 3)).unwrap();
+        }
+        assert_eq!(
+            engine.submit(spec_req(vec![1, 2], 8, 3)).unwrap_err(),
+            Rejection::Busy
+        );
+        // Invalid shapes.
+        for bad in [
+            spec_req(vec![], 8, 3),
+            spec_req(vec![1], 0, 3),
+            spec_req(vec![1], 8, 0),
+            spec_req(vec![1], 8, MAX_GAMMA),
+            spec_req(vec![99], 8, 3),     // outside vocab 40
+            spec_req(vec![0; 200], 8, 3), // past max_seq 128
+            Request {
+                prompt: vec![1],
+                max_new: 4,
+                mode: DecodeMode::Autoregressive,
+                image_seed: Some(7),
+            },
+        ] {
+            assert!(
+                matches!(engine.submit(bad.clone()), Err(Rejection::Invalid(_))),
+                "{bad:?} should be invalid"
+            );
+        }
+        assert_eq!(engine.metrics().requests_rejected.get(), 8);
+        engine.run_until_idle();
+        assert_eq!(engine.metrics().requests_completed.get(), 2);
+    }
+
+    /// Cancelling a running request stops it at a block boundary, keeps the
+    /// committed prefix readable, and frees the slot for the next request.
+    #[test]
+    fn cancel_frees_slot_and_keeps_prefix() {
+        let engine = text_engine(1, 1, 8);
+        let target = Decoder::new(DecoderConfig::tiny(40), 10);
+        let draft = Decoder::new(DecoderConfig::tiny(40), 20);
+        let mut ws = Workspace::new();
+        let h1 = engine.submit(spec_req(vec![3, 7, 1, 9], 40, 3)).unwrap();
+        let h2 = engine.submit(spec_req(vec![5, 2], 10, 3)).unwrap();
+        // A few blocks of progress, then cancel mid-flight.
+        for _ in 0..3 {
+            engine.tick();
+        }
+        assert!(engine.cancel(h1.id));
+        engine.run_until_idle();
+        let (s1, t1) = h1.snapshot();
+        assert_eq!(s1, Status::Cancelled);
+        assert!(!t1.is_empty() && t1.len() < 40, "partial prefix expected");
+        // The committed prefix must be a prefix of the true completion.
+        let (want, _) =
+            speculative_greedy_with_budget_ws(&target, &draft, &[3, 7, 1, 9], 40, 3, &mut ws);
+        assert_eq!(t1[..], want[..t1.len()]);
+        // The second request still completes losslessly on the reused slot.
+        let (want2, _) =
+            speculative_greedy_with_budget_ws(&target, &draft, &[5, 2], 10, 3, &mut ws);
+        assert_eq!(h2.snapshot(), (Status::Done, want2));
+        assert_eq!(engine.metrics().requests_cancelled.get(), 1);
+        assert!(!engine.cancel(h1.id), "finished ids cannot be re-cancelled");
+    }
+
+    /// Cancelling while still queued drops the request at refill without it
+    /// ever occupying a slot.
+    #[test]
+    fn cancel_queued_request_never_runs() {
+        let engine = text_engine(1, 1, 8);
+        let h1 = engine.submit(spec_req(vec![1, 2, 3], 30, 3)).unwrap();
+        let h2 = engine.submit(spec_req(vec![4, 5], 10, 3)).unwrap();
+        assert!(engine.cancel(h2.id));
+        engine.run_until_idle();
+        assert_eq!(h1.snapshot().0, Status::Done);
+        let (s2, t2) = h2.snapshot();
+        assert_eq!(s2, Status::Cancelled);
+        assert!(t2.is_empty());
+        assert!(h2.ttft_ms().is_none());
+    }
+
+    /// Slot reuse: many sequential requests through one slot must all be
+    /// lossless (reset caches behave like fresh ones) and the workspace
+    /// pool must stop growing after warmup.
+    #[test]
+    fn slot_reuse_is_lossless_and_allocation_stable() {
+        let engine = text_engine(1, 1, 16);
+        let target = Decoder::new(DecoderConfig::tiny(40), 10);
+        let draft = Decoder::new(DecoderConfig::tiny(40), 20);
+        let mut ws = Workspace::new();
+        for round in 0..3 {
+            let prompt = vec![2 + round as u32, 9, 4];
+            let (want, _) =
+                speculative_greedy_with_budget_ws(&target, &draft, &prompt, 20, 5, &mut ws);
+            let h = engine.submit(spec_req(prompt, 20, 5)).unwrap();
+            engine.run_until_idle();
+            assert_eq!(h.snapshot(), (Status::Done, want), "round {round}");
+        }
+        let slots = engine.slots.lock().unwrap();
+        assert!(slots[0].active.is_none(), "slot should be idle after drain");
+        assert_eq!(engine.metrics.requests_completed.get(), 3);
+    }
+
+    /// Multimodal engine: served hybrid-cache sessions match
+    /// `mm_speculative_ws` / `mm_autoregressive_ws` exactly.
+    #[test]
+    fn multimodal_engine_is_lossless() {
+        use aasd_mm::{draft_for, mm_autoregressive_ws, mm_speculative_ws, LlavaSimConfig};
+        let cfg = LlavaSimConfig::tiny(40, 96);
+        let model = Arc::new(LlavaSim::new(cfg.clone(), 0xB0));
+        let draft = Arc::new(draft_for(&cfg, 0xB1));
+        let projector = Arc::new(KvProjector::new(
+            0xB2,
+            draft.cfg.n_layers,
+            cfg.lm.n_layers,
+            cfg.n_img(),
+            cfg.k_slots(),
+        ));
+        let engine = Engine::new(
+            EngineModel::Multimodal {
+                model: Arc::clone(&model),
+                draft: Arc::clone(&draft),
+                projector: Arc::clone(&projector),
+                ablation: Ablation::projector(),
+            },
+            EngineConfig {
+                slots: 2,
+                workers: 1,
+                max_queue: 8,
+            },
+        );
+        let mut ws = Workspace::new();
+        let prompt = vec![3u32, 11, 25, 7];
+        let seed = 5u64;
+        let img = Image::synthetic(
+            &mut Rng::new(seed),
+            cfg.vision.n_patches,
+            cfg.vision.patch_dim,
+        );
+        let (want_spec, _) = mm_speculative_ws(
+            &model,
+            &draft,
+            Some(&projector),
+            Ablation::projector(),
+            &img,
+            &prompt,
+            20,
+            3,
+            &mut ws,
+        );
+        let want_ar = mm_autoregressive_ws(&model, &img, &prompt, 20, &mut ws);
+
+        let hs = engine
+            .submit(Request {
+                prompt: prompt.clone(),
+                max_new: 20,
+                mode: DecodeMode::Speculative { gamma: 3 },
+                image_seed: Some(seed),
+            })
+            .unwrap();
+        let ha = engine
+            .submit(Request {
+                prompt,
+                max_new: 20,
+                mode: DecodeMode::Autoregressive,
+                image_seed: Some(seed),
+            })
+            .unwrap();
+        engine.run_until_idle();
+        assert_eq!(hs.snapshot(), (Status::Done, want_spec));
+        assert_eq!(ha.snapshot(), (Status::Done, want_ar));
+        // Text-engine-only request shape rejected on mm engine.
+        assert!(matches!(
+            engine.submit(spec_req(vec![1], 4, 2)),
+            Err(Rejection::Invalid(_))
+        ));
+    }
+}

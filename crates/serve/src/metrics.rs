@@ -1,0 +1,392 @@
+//! Lock-free serving metrics: monotonic counters, gauges, and fixed-bucket
+//! latency histograms.
+//!
+//! Every instrument is a plain `AtomicU64` (or a fixed array of them), so
+//! worker threads record with relaxed stores and never contend on a lock —
+//! the scheduler hot path pays a handful of atomic adds per block. The
+//! registry renders two ways: a Prometheus-style text exposition for the
+//! `METRICS` protocol command, and a JSON object (via the shared
+//! `aasd-json` writer, the same one the bench harness uses) for the
+//! `METRICS_JSON` command and the `perf_snapshot` serving section.
+//!
+//! Histograms are fixed-bucket by design: the bucket bounds are chosen at
+//! construction, recording is O(#buckets) in the worst case (a linear scan
+//! over ≤ 20 bounds), and quantiles are estimated by linear interpolation
+//! inside the target bucket — the standard Prometheus-histogram trade-off,
+//! which is exactly what a live serving endpoint wants (bounded memory, no
+//! per-sample storage, mergeable across restarts).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins gauge (queue depth, active sessions).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Default latency bucket upper bounds, in milliseconds. Exponential-ish
+/// coverage from sub-millisecond decode blocks up to multi-second queue
+/// waits; values past the last bound land in the overflow bucket.
+pub const DEFAULT_BOUNDS_MS: [f64; 16] = [
+    0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0,
+    5000.0,
+];
+
+/// Fixed-bucket latency histogram with lock-free recording.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds_ms: Vec<f64>,
+    /// `bounds_ms.len() + 1` buckets; the last one is overflow.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum in nanoseconds so sub-millisecond samples are not rounded away.
+    sum_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new(&DEFAULT_BOUNDS_MS)
+    }
+}
+
+impl Histogram {
+    pub fn new(bounds_ms: &[f64]) -> Self {
+        assert!(!bounds_ms.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds_ms.windows(2).all(|w| w[0] < w[1]),
+            "bucket bounds must be strictly increasing"
+        );
+        Self {
+            bounds_ms: bounds_ms.to_vec(),
+            buckets: (0..bounds_ms.len() + 1)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    pub fn record_ms(&self, ms: f64) {
+        let ms = if ms.is_finite() && ms >= 0.0 { ms } else { 0.0 };
+        let idx = self
+            .bounds_ms
+            .iter()
+            .position(|&b| ms <= b)
+            .unwrap_or(self.bounds_ms.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns
+            .fetch_add((ms * 1e6).round() as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn mean_ms(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_ns.load(Ordering::Relaxed) as f64 / 1e6 / n as f64
+        }
+    }
+
+    /// Quantile estimate (`q` in `[0, 1]`), linearly interpolated inside the
+    /// target bucket. Overflow-bucket hits are reported as the last bound
+    /// (a floor, like Prometheus' `histogram_quantile`). Returns 0 when
+    /// empty.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * n as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let c = bucket.load(Ordering::Relaxed);
+            if seen + c >= target {
+                if i == self.bounds_ms.len() {
+                    return self.bounds_ms[self.bounds_ms.len() - 1];
+                }
+                let lo = if i == 0 { 0.0 } else { self.bounds_ms[i - 1] };
+                let hi = self.bounds_ms[i];
+                let frac = if c == 0 {
+                    1.0
+                } else {
+                    (target - seen) as f64 / c as f64
+                };
+                return lo + (hi - lo) * frac;
+            }
+            seen += c;
+        }
+        self.bounds_ms[self.bounds_ms.len() - 1]
+    }
+
+    /// Per-bucket cumulative counts, Prometheus `le`-style.
+    fn cumulative(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::with_capacity(self.buckets.len());
+        let mut acc = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            acc += bucket.load(Ordering::Relaxed);
+            let label = if i == self.bounds_ms.len() {
+                "+Inf".to_string()
+            } else {
+                format!("{}", self.bounds_ms[i])
+            };
+            out.push((label, acc));
+        }
+        out
+    }
+}
+
+/// The serving metrics registry: one instance per engine, shared by every
+/// worker and connection thread through `Arc`.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    // Request lifecycle.
+    pub requests_submitted: Counter,
+    pub requests_rejected: Counter,
+    pub requests_completed: Counter,
+    pub requests_cancelled: Counter,
+    // Token/engine throughput.
+    pub tokens_generated: Counter,
+    pub scheduler_ticks: Counter,
+    // Speculation counters, merged from every finished session's SpecStats
+    // (see `SpecStats::merge` for the τ convention).
+    pub spec_blocks: Counter,
+    pub spec_drafted: Counter,
+    pub spec_accepted: Counter,
+    pub spec_prefill_tokens: Counter,
+    // Live state.
+    pub queue_depth: Gauge,
+    pub active_sessions: Gauge,
+    // Latency distributions.
+    pub ttft_ms: Histogram,
+    pub token_ms: Histogram,
+    pub block_ms: Histogram,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one finished session's speculation counters in.
+    pub fn merge_spec_stats(&self, s: &aasd_specdec::SpecStats) {
+        self.spec_blocks.add(s.blocks as u64);
+        self.spec_drafted.add(s.drafted as u64);
+        self.spec_accepted.add(s.accepted as u64);
+        self.spec_prefill_tokens.add(s.prefill_tokens as u64);
+    }
+
+    /// Aggregate acceptance rate α across all completed sessions.
+    pub fn alpha(&self) -> f64 {
+        let d = self.spec_drafted.get();
+        if d == 0 {
+            0.0
+        } else {
+            self.spec_accepted.get() as f64 / d as f64
+        }
+    }
+
+    /// Aggregate block efficiency τ across all completed sessions
+    /// (prefill-decided tokens excluded, same convention as
+    /// `SpecStats::block_efficiency`).
+    pub fn tau(&self) -> f64 {
+        let b = self.spec_blocks.get();
+        if b == 0 {
+            0.0
+        } else {
+            let gen = self
+                .tokens_generated
+                .get()
+                .saturating_sub(self.spec_prefill_tokens.get());
+            gen as f64 / b as f64
+        }
+    }
+
+    /// Prometheus-style text exposition (the `METRICS` protocol command).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let counters: [(&str, &Counter); 10] = [
+            ("aasd_requests_submitted_total", &self.requests_submitted),
+            ("aasd_requests_rejected_total", &self.requests_rejected),
+            ("aasd_requests_completed_total", &self.requests_completed),
+            ("aasd_requests_cancelled_total", &self.requests_cancelled),
+            ("aasd_tokens_generated_total", &self.tokens_generated),
+            ("aasd_scheduler_ticks_total", &self.scheduler_ticks),
+            ("aasd_spec_blocks_total", &self.spec_blocks),
+            ("aasd_spec_drafted_total", &self.spec_drafted),
+            ("aasd_spec_accepted_total", &self.spec_accepted),
+            ("aasd_spec_prefill_tokens_total", &self.spec_prefill_tokens),
+        ];
+        for (name, c) in counters {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+        }
+        for (name, g) in [
+            ("aasd_queue_depth", &self.queue_depth),
+            ("aasd_active_sessions", &self.active_sessions),
+        ] {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+        }
+        for (name, v) in [("aasd_alpha", self.alpha()), ("aasd_tau", self.tau())] {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v:.6}\n"));
+        }
+        for (name, h) in [
+            ("aasd_ttft_ms", &self.ttft_ms),
+            ("aasd_token_ms", &self.token_ms),
+            ("aasd_block_ms", &self.block_ms),
+        ] {
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            for (le, c) in h.cumulative() {
+                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {c}\n"));
+            }
+            out.push_str(&format!("{name}_count {}\n", h.count()));
+            out.push_str(&format!("{name}_mean_ms {:.6}\n", h.mean_ms()));
+            for q in [0.5, 0.95] {
+                out.push_str(&format!(
+                    "{name}{{quantile=\"{q}\"}} {:.6}\n",
+                    h.quantile_ms(q)
+                ));
+            }
+        }
+        out
+    }
+
+    /// JSON rendering through the shared `aasd-json` writer — the same
+    /// shape the `perf_snapshot` serving section embeds.
+    pub fn render_json(&self) -> String {
+        let hist = |h: &Histogram| {
+            aasd_json::object(&[
+                aasd_json::field("count", &h.count().to_string()),
+                aasd_json::field("mean_ms", &aasd_json::num(h.mean_ms())),
+                aasd_json::field("p50_ms", &aasd_json::num(h.quantile_ms(0.5))),
+                aasd_json::field("p95_ms", &aasd_json::num(h.quantile_ms(0.95))),
+            ])
+        };
+        aasd_json::object(&[
+            aasd_json::field("submitted", &self.requests_submitted.get().to_string()),
+            aasd_json::field("rejected", &self.requests_rejected.get().to_string()),
+            aasd_json::field("completed", &self.requests_completed.get().to_string()),
+            aasd_json::field("cancelled", &self.requests_cancelled.get().to_string()),
+            aasd_json::field("tokens_generated", &self.tokens_generated.get().to_string()),
+            aasd_json::field("scheduler_ticks", &self.scheduler_ticks.get().to_string()),
+            aasd_json::field("queue_depth", &self.queue_depth.get().to_string()),
+            aasd_json::field("active_sessions", &self.active_sessions.get().to_string()),
+            aasd_json::field("alpha", &aasd_json::num(self.alpha())),
+            aasd_json::field("tau", &aasd_json::num(self.tau())),
+            aasd_json::field("ttft_ms", &hist(&self.ttft_ms)),
+            aasd_json::field("token_ms", &hist(&self.token_ms)),
+            aasd_json::field("block_ms", &hist(&self.block_ms)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0, 8.0]);
+        for _ in 0..50 {
+            h.record_ms(0.5); // bucket (0, 1]
+        }
+        for _ in 0..50 {
+            h.record_ms(3.0); // bucket (2, 4]
+        }
+        assert_eq!(h.count(), 100);
+        // p50 falls exactly at the end of the first bucket.
+        assert!((h.quantile_ms(0.5) - 1.0).abs() < 1e-9);
+        // p95: rank 95 is the 45th of 50 samples in (2, 4] → 2 + 2*45/50.
+        assert!((h.quantile_ms(0.95) - 3.8).abs() < 1e-9);
+        assert!((h.mean_ms() - 1.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_overflow_reports_last_bound() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.record_ms(100.0);
+        assert!((h.quantile_ms(0.5) - 2.0).abs() < 1e-9);
+        assert_eq!(h.cumulative().last().unwrap().1, 1);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_ms(0.5), 0.0);
+        assert_eq!(h.mean_ms(), 0.0);
+    }
+
+    #[test]
+    fn non_finite_and_negative_samples_clamp_to_zero() {
+        let h = Histogram::new(&[1.0]);
+        h.record_ms(f64::NAN);
+        h.record_ms(-3.0);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile_ms(1.0) <= 1.0);
+    }
+
+    #[test]
+    fn alpha_tau_derive_from_merged_stats() {
+        let m = Metrics::new();
+        m.merge_spec_stats(&aasd_specdec::SpecStats {
+            blocks: 4,
+            drafted: 12,
+            accepted: 9,
+            generated: 13,
+            prefill_tokens: 1,
+        });
+        m.tokens_generated.add(13);
+        assert!((m.alpha() - 0.75).abs() < 1e-12);
+        assert!((m.tau() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn renderings_contain_core_series() {
+        let m = Metrics::new();
+        m.requests_submitted.inc();
+        m.ttft_ms.record_ms(3.0);
+        let text = m.render_text();
+        assert!(text.contains("aasd_requests_submitted_total 1"));
+        assert!(text.contains("aasd_ttft_ms_count 1"));
+        assert!(text.contains("quantile=\"0.95\""));
+        let json = m.render_json();
+        assert!(json.contains("\"submitted\": 1"));
+        assert!(json.contains("\"p95_ms\""));
+    }
+}

@@ -31,8 +31,10 @@
 //!   winning at realistic acceptance rates.
 
 pub mod metrics;
+pub mod session;
 
 pub use metrics::SpecStats;
+pub use session::{ArSession, SpecSession, StepReport};
 
 use aasd_nn::{Decoder, KvCache};
 use aasd_tensor::{argmax, Tensor, Workspace};
@@ -360,27 +362,15 @@ pub fn autoregressive_greedy_seeded_ws(
     ws: &mut Workspace,
 ) -> Vec<u32> {
     // All committed tokens except the final one are fed back through the
-    // cache, so the true feasible budget is the remaining room plus one.
-    assert!(
-        cache.len() + budget <= target.cfg.max_seq + 1,
-        "budget exceeds context window"
-    );
-    let mut out = Vec::with_capacity(budget);
-    if budget == 0 {
-        return out;
+    // cache, so the true feasible budget is the remaining room plus one
+    // (asserted by [`ArSession::new`]). One-shot driver over the resumable
+    // [`ArSession`] — the scheduler steps the same state machine block by
+    // block, so serving inherits this loop's semantics verbatim.
+    let mut session = ArSession::new(target, cache, pending, budget);
+    while !session.is_done() {
+        session.step(target, cache, ws);
     }
-    let mut tok = pending;
-    let mut logits = ws.take(target.cfg.vocab);
-    loop {
-        out.push(tok);
-        if out.len() == budget {
-            break;
-        }
-        target.forward_infer_ws(&[tok], cache, ws, &mut logits);
-        tok = argmax(&logits) as u32;
-    }
-    ws.give(logits);
-    out
+    session.into_tokens()
 }
 
 /// The fused speculative loop: zero-allocation forwards plus the
@@ -478,123 +468,16 @@ pub fn speculative_greedy_seeded_ws(
     gamma: usize,
     ws: &mut Workspace,
 ) -> (Vec<u32>, SpecStats) {
-    assert!(
-        (1..MAX_GAMMA).contains(&gamma),
-        "gamma must be in 1..{MAX_GAMMA}"
-    );
-    assert!(
-        t_cache.len() + budget <= target.cfg.max_seq + 1,
-        "budget exceeds target context window"
-    );
-    assert!(
-        d_cache.len() + budget <= draft.cfg.max_seq + 1,
-        "budget exceeds draft context window"
-    );
-    let (t_vocab, d_vocab) = (target.cfg.vocab, draft.cfg.vocab);
-
-    let mut stats = SpecStats::default();
-    let mut out: Vec<u32> = Vec::with_capacity(budget);
-    if budget == 0 {
-        return (out, stats);
+    // One-shot driver over the resumable [`SpecSession`] state machine —
+    // the loop body (draft γ, batched verify with the pending-token fold,
+    // commit, rollback) lives in [`SpecSession::step_block`] so the serving
+    // scheduler can interleave many sessions at block granularity while
+    // every invariant test on THIS function keeps pinning that body.
+    let mut session = SpecSession::new(target, draft, t_cache, d_cache, pending, budget, gamma);
+    while !session.is_done() {
+        session.step_block(target, draft, t_cache, d_cache, ws);
     }
-    // The caches may be seeded with different-length prefixes (hybrid
-    // cache); track each one's base independently. Loop invariant: `out`
-    // ends with the pending token and each cache holds exactly
-    // `its_offset + out.len() − 1` positions.
-    let t_off = t_cache.len();
-    let d_off = d_cache.len();
-    let mut pending = pending;
-    out.push(pending);
-    stats.generated += 1;
-    stats.prefill_tokens += 1;
-
-    let mut proposals: Vec<u32> = Vec::with_capacity(gamma);
-    let mut d_logits = ws.take(d_vocab);
-    while out.len() < budget {
-        let t_base = t_cache.len();
-        let d_base = d_cache.len();
-        debug_assert_eq!(t_base, t_off + out.len() - 1);
-        debug_assert_eq!(d_base, d_off + out.len() - 1);
-        // The block feeds g+1 tokens (pending + g proposals) to both caches
-        // and commits at most g+1 new tokens; each model bounds g by its
-        // own remaining room. The loop condition guarantees
-        // budget - out.len() >= 1, and the budget asserts above guarantee
-        // base + 1 <= max_seq here, so the subtractions cannot underflow.
-        let room = (target.cfg.max_seq - t_base - 1).min(draft.cfg.max_seq - d_base - 1);
-        let g = gamma.min(budget - out.len() - 1).min(room);
-        if g == 0 {
-            // One token of budget or context left: plain fused decode step.
-            let mut logits = ws.take(t_vocab);
-            target.forward_infer_ws(&[pending], t_cache, ws, &mut logits);
-            let next = argmax(&logits) as u32;
-            ws.give(logits);
-            out.push(next);
-            stats.blocks += 1;
-            stats.generated += 1;
-            if out.len() < budget {
-                // Keep the caches in lockstep for the next block.
-                let mut dl = ws.take(d_vocab);
-                draft.forward_infer_ws(&[pending], d_cache, ws, &mut dl);
-                ws.give(dl);
-            }
-            pending = next;
-            continue;
-        }
-
-        // Draft phase: feed pending, then each proposal, so the draft cache
-        // covers any accepted prefix (g+1 single-token forwards).
-        proposals.clear();
-        let mut feed = pending;
-        for _ in 0..g {
-            draft.forward_infer_ws(&[feed], d_cache, ws, &mut d_logits);
-            feed = argmax(&d_logits) as u32;
-            proposals.push(feed);
-        }
-        draft.forward_infer_ws(&[feed], d_cache, ws, &mut d_logits);
-
-        // Verify phase: ONE (g+1)-token target pass scores the pending
-        // token and all g proposals. Row i predicts the token after
-        // position t_base+i, i.e. proposals[i] for i < g, bonus for i = g.
-        let mut v_logits = ws.take((g + 1) * t_vocab);
-        // Build the verify block on the stack (no allocation); γ < MAX_GAMMA
-        // is enforced above.
-        let mut block = [0u32; MAX_GAMMA];
-        block[0] = pending;
-        block[1..=g].copy_from_slice(&proposals);
-        target.forward_infer_ws(&block[..=g], t_cache, ws, &mut v_logits);
-
-        let mut accepted = 0;
-        while accepted < g {
-            let pred = argmax(&v_logits[accepted * t_vocab..(accepted + 1) * t_vocab]) as u32;
-            if pred != proposals[accepted] {
-                break;
-            }
-            accepted += 1;
-        }
-        let next = argmax(&v_logits[accepted * t_vocab..(accepted + 1) * t_vocab]) as u32;
-        ws.give(v_logits);
-
-        stats.blocks += 1;
-        stats.drafted += g;
-        stats.accepted += accepted;
-        // Commit the accepted prefix plus the new pending token, clamped to
-        // the remaining budget (invariant: stats.generated == out.len()).
-        let commit = (accepted + 1).min(budget - out.len());
-        stats.generated += commit;
-        out.extend_from_slice(&proposals[..commit.min(accepted)]);
-        if commit > accepted {
-            out.push(next);
-        }
-        if out.len() >= budget {
-            break;
-        }
-        // Roll both caches back to the committed frontier; the new pending
-        // token is fed as part of the NEXT block's verify pass.
-        t_cache.truncate(t_base + 1 + accepted);
-        d_cache.truncate(d_base + 1 + accepted);
-        pending = next;
-    }
-    ws.give(d_logits);
+    let (out, stats) = session.into_parts();
     debug_assert_eq!(stats.generated, out.len());
     (out, stats)
 }

@@ -49,7 +49,22 @@ impl SpecStats {
         }
     }
 
-    /// Fold another run's counters into this one (for dataset-level means).
+    /// Fold another run's counters into this one (for dataset-level means
+    /// and for the serving scheduler, which merges every finished session's
+    /// stats into one registry).
+    ///
+    /// τ convention for seeded/fused loops: each such run commits its first
+    /// token straight from prefill and records it in
+    /// [`SpecStats::prefill_tokens`] (1 per run), so
+    /// [`SpecStats::block_efficiency`] computes
+    /// `(generated − prefill_tokens) / blocks` — per-verify-pass tokens
+    /// only. Because **all** counters, including `prefill_tokens`, are
+    /// plain sums, merging N single-run stats yields `prefill_tokens == N`
+    /// and the merged τ is the blocks-weighted mean of the per-run τ values,
+    /// still bounded by γ+1. Merging is commutative and associative
+    /// (`merge_is_associative_and_commutative` below), so the scheduler may
+    /// fold sessions in completion order — which varies with worker
+    /// interleaving — and always report the same aggregate α/τ.
     pub fn merge(&mut self, other: &SpecStats) {
         self.blocks += other.blocks;
         self.drafted += other.drafted;
@@ -93,6 +108,68 @@ mod tests {
         assert_eq!(a.generated, 14);
         assert!((a.acceptance_rate() - 11.0 / 15.0).abs() < 1e-12);
         assert!((a.block_efficiency() - 14.0 / 3.0).abs() < 1e-12);
+    }
+
+    /// The scheduler merges per-session stats in completion order, which
+    /// depends on worker interleaving — so merge must be associative and
+    /// commutative, and the seeded-loop τ convention (one `prefill_tokens`
+    /// per run, excluded from τ) must survive any grouping.
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let runs = [
+            SpecStats {
+                blocks: 3,
+                drafted: 9,
+                accepted: 7,
+                generated: 11,
+                prefill_tokens: 1,
+            },
+            SpecStats {
+                blocks: 5,
+                drafted: 25,
+                accepted: 4,
+                generated: 10,
+                prefill_tokens: 1,
+            },
+            SpecStats {
+                blocks: 1,
+                drafted: 2,
+                accepted: 2,
+                generated: 4,
+                prefill_tokens: 1,
+            },
+        ];
+        let [a, b, c] = runs.clone();
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+
+        // Commutativity: fold in reverse completion order.
+        let mut rev = SpecStats::default();
+        for r in runs.iter().rev() {
+            rev.merge(r);
+        }
+        assert_eq!(left, rev);
+
+        // One prefill token per seeded run, excluded from τ; the merged τ
+        // is the blocks-weighted mean of per-run τ values.
+        assert_eq!(left.prefill_tokens, 3);
+        let want_tau = ((11 - 1) + (10 - 1) + (4 - 1)) as f64 / (3 + 5 + 1) as f64;
+        assert!((left.block_efficiency() - want_tau).abs() < 1e-12);
+        let per_run_weighted: f64 = runs
+            .iter()
+            .map(|r| r.block_efficiency() * r.blocks as f64)
+            .sum::<f64>()
+            / runs.iter().map(|r| r.blocks).sum::<usize>() as f64;
+        assert!((left.block_efficiency() - per_run_weighted).abs() < 1e-12);
     }
 
     /// The fused loop's prefill-decided pending token must not inflate τ:

@@ -16,11 +16,15 @@
 //!   self-data distillation loop that aligns a draft to its target;
 //! * [`mm`] — the multimodal core: LlavaSim (ViT + connector + LM), the
 //!   learned KV projector, hybrid-cache speculative decoding with ablation
-//!   switches, and joint draft+projector distillation.
+//!   switches, and joint draft+projector distillation;
+//! * [`serve`] — the multi-session serving layer: continuous batching at
+//!   speculative-block granularity, admission control, lock-free metrics,
+//!   and a length-prefixed TCP front end.
 
 pub use aasd_autograd as autograd;
 pub use aasd_mm as mm;
 pub use aasd_nn as nn;
+pub use aasd_serve as serve;
 pub use aasd_specdec as specdec;
 pub use aasd_tensor as tensor;
 pub use aasd_train as train;
