@@ -38,6 +38,17 @@ if [[ "${1:-}" != "--quick" ]]; then
     # completion asserted token-identical to the fused single-request loop.
     cargo test -q -p aasd --test server_smoke
 
+    echo "==> kernel gate: equivalence suite on forced-scalar and host-best tiers"
+    # The SIMD/int8 kernel layer must be lossless on every dispatch tier the
+    # host supports. Run the tensor kernel tests plus the int8 spec≡AR suite
+    # twice: once pinned to the scalar reference, once on the host's best
+    # backend (the default), so a tier-specific bug cannot slip through on a
+    # machine where that tier happens to be the default.
+    AASD_KERNEL=scalar cargo test -q -p aasd-tensor
+    AASD_KERNEL=scalar cargo test -q -p aasd --test int8_equivalence
+    cargo test -q -p aasd-tensor
+    cargo test -q -p aasd --test int8_equivalence
+
     echo "==> perf snapshot smoke (every bench section incl. multimodal + serving)"
     cargo run --release -q -p aasd-bench --bin perf_snapshot -- /tmp/bench_smoke.json --smoke
 

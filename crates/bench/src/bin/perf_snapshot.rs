@@ -1,10 +1,25 @@
 //! Perf-trajectory snapshot harness: runs the kernel, decode, speculative,
 //! training, multimodal, and serving benches and writes a machine-readable
-//! JSON summary (default `BENCH_PR5.json`, override with the first CLI
+//! JSON summary (default `BENCH_PR6.json`, override with the first CLI
 //! arg). Future perf PRs regress against this file; earlier-PR sections are
 //! kept so trajectories stay comparable.
 //!
-//! New in PR5:
+//! New in PR6:
+//! * `kernels` races the runtime-dispatched kernel tiers against each other
+//!   with everything else held fixed: f32 scalar vs SSE2 vs AVX2 plus int8
+//!   on the host's best tier, over a bare vecmat, the fused decode step at
+//!   ctx ∈ {16, 64, 256, 512}, and the aligned γ=5 speculative e2e race.
+//!   The ctx-512 rows carry `speedup_vs_pr5_scalar` against the frozen PR5
+//!   fused median (the pre-SIMD kernels);
+//! * under `--smoke`, the freshly measured fused decode-step medians are
+//!   checked against `BENCH_PR5.json` and a WARNING is printed for any ctx
+//!   more than 10% slower (a cheap CI tripwire, not an assert — smoke
+//!   numbers are noisy);
+//! * `decode_profile` op shares are now fractions of the top-level pipeline
+//!   total (the int8 path's nested quantize/q8_vecmat spans would otherwise
+//!   double-count).
+//!
+//! From PR5:
 //! * `serving` pushes the aligned e2e draft through the `aasd-serve`
 //!   continuous-batching engine: spec vs autoregressive serving at 1/4/16
 //!   concurrent sessions, measuring throughput (tokens/s) and p50/p95 TTFT
@@ -41,21 +56,69 @@ use aasd_mm::{
     distill_hybrid, draft_for, mm_autoregressive_ws, mm_speculative_ws, Ablation,
     HybridDistillConfig, Image, KvProjector, LlavaSim, LlavaSimConfig,
 };
-use aasd_nn::{Decoder, DecoderConfig};
+use aasd_nn::{Decoder, DecoderConfig, KernelPolicy};
 use aasd_serve::{DecodeMode, Engine, EngineConfig, EngineModel, Request, Status};
 use aasd_specdec::{
     autoregressive_greedy, autoregressive_greedy_with_budget_ws, speculative_greedy_with_budget_ws,
     verify_greedy, verify_greedy_sequential,
 };
 use aasd_tensor::{
-    hardware_threads, matmul_blocked_into, matmul_naive_into, matmul_parallel_into, Op, Rng,
-    Workspace,
+    backend, best_supported, hardware_threads, matmul_blocked_into, matmul_naive_into,
+    matmul_parallel_into, quantize_row_i8, set_backend, vecmat_into, vecmat_q8_into, Backend, Op,
+    QuantMatrix, Rng, Workspace,
 };
 use aasd_train::{
     distill, teacher_probs, train_step, Adam, DistillConfig, Example, LossSpec, Schedule,
 };
 use std::sync::Arc;
 use std::time::Instant;
+
+/// PR5's fused ctx-512 decode-step median (ms), measured before the SIMD /
+/// int8 kernel layer existed — i.e. on what is now the scalar tier. The
+/// `kernels` section's acceptance bar (≥2× on the best path) races against
+/// this frozen constant so the comparison survives re-benching.
+const PR5_FUSED_CTX512_MS: f64 = 0.968288;
+
+/// `--smoke` tripwire: scan `BENCH_PR5.json` for the fused decode-step
+/// medians and warn (not fail — smoke numbers are noisy) when a freshly
+/// measured median is >10% slower. Minimal text scan, no JSON parser: the
+/// snapshot format is the one this binary writes.
+fn warn_decode_step_regressions(fresh: &[(usize, f64)]) {
+    let Ok(text) = std::fs::read_to_string("BENCH_PR5.json") else {
+        println!("(no BENCH_PR5.json found; skipping decode-step regression check)");
+        return;
+    };
+    let Some(start) = text.find("\"decode_step\"") else {
+        return;
+    };
+    let section = &text[start
+        ..text[start..]
+            .find("\"decode_profile\"")
+            .map_or(text.len(), |e| start + e)];
+    for &(ctx, fresh_ms) in fresh {
+        let Some(at) = section.find(&format!("\"ctx\": {ctx},")) else {
+            continue;
+        };
+        let tail = &section[at..];
+        let Some(m) = tail.find("\"median_ms\": ") else {
+            continue;
+        };
+        let rest = &tail[m + "\"median_ms\": ".len()..];
+        let end = rest
+            .find(|c: char| c != '.' && !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        let Ok(baseline_ms) = rest[..end].parse::<f64>() else {
+            continue;
+        };
+        if fresh_ms > baseline_ms * 1.10 {
+            println!(
+                "WARNING: decode_step ctx {ctx} fused median {fresh_ms:.4} ms is \
+                 {:.1}% slower than BENCH_PR5.json ({baseline_ms:.4} ms)",
+                (fresh_ms / baseline_ms - 1.0) * 100.0
+            );
+        }
+    }
+}
 
 /// Nearest-rank percentile on a sorted sample.
 fn percentile(sorted: &[f64], q: f64) -> f64 {
@@ -85,7 +148,7 @@ impl Harness {
 }
 
 fn main() {
-    let mut out_path = "BENCH_PR5.json".to_string();
+    let mut out_path = "BENCH_PR6.json".to_string();
     let mut smoke = false;
     for arg in std::env::args().skip(1) {
         if arg == "--smoke" {
@@ -104,14 +167,20 @@ fn main() {
     sections.push(json::field(
         "meta",
         &json::object(&[
-            json::field("snapshot", &json::string("PR5")),
+            json::field("snapshot", &json::string("PR6")),
             json::field("smoke", if smoke { "true" } else { "false" }),
             json::field("hardware_threads", &hardware_threads().to_string()),
+            json::field("kernel_backend", &json::string(backend().name())),
+            json::field(
+                "kernel_best_supported",
+                &json::string(best_supported().name()),
+            ),
             json::field(
                 "note",
                 &json::string(
                     "std-only harness; medians over time-budgeted samples; \
-                     decode rows use the fused zero-allocation workspace path",
+                     decode rows use the fused zero-allocation workspace path \
+                     on the active kernel backend (AASD_KERNEL overrides)",
                 ),
             ),
         ]),
@@ -164,6 +233,7 @@ fn main() {
     let mut ws = Workspace::new();
     let mut step_logits = vec![0.0f32; vocab];
     let mut decode_items = Vec::new();
+    let mut fused_medians: Vec<(usize, f64)> = Vec::new();
     for ctx in [16usize, 64, 256, 512] {
         let prompt: Vec<u32> = (0..ctx).map(|_| rng.below(vocab) as u32).collect();
         let mut cache = target.new_cache();
@@ -178,6 +248,7 @@ fn main() {
         });
         report(&fused);
         report(&alloc);
+        fused_medians.push((ctx, fused.median_ns / 1e6));
         decode_items.push(json::object(&[
             json::field("ctx", &ctx.to_string()),
             json::field("step", &result_json(&fused)),
@@ -189,6 +260,9 @@ fn main() {
         ]));
     }
     sections.push(json::field("decode_step", &json::array(&decode_items)));
+    if smoke {
+        warn_decode_step_regressions(&fused_medians);
+    }
 
     // ---- per-op profile of a ctx-512 decode step ------------------------
     println!("\n== decode step per-op profile (ctx 512) ==");
@@ -207,11 +281,14 @@ fn main() {
         target.forward_infer_ws(&[7], &mut cache, &mut ws, &mut step_logits);
     }
     ws.prof.disable();
-    let grand = ws.prof.grand_total_ns().max(1) as f64;
+    // Shares are fractions of the top-level pipeline total: the pipeline
+    // ops partition the step, while the nested quantize/q8_vecmat spans
+    // (int8 path only) overlap their parents and would inflate a grand sum.
+    let pipeline = ws.prof.pipeline_total_ns().max(1) as f64;
     let mut prof_items = Vec::new();
     for op in Op::ALL {
         let ms_per_step = ws.prof.total_ns(op) as f64 / prof_steps as f64 / 1e6;
-        let share = ws.prof.total_ns(op) as f64 / grand;
+        let share = ws.prof.total_ns(op) as f64 / pipeline;
         println!(
             "{:<12} {:>8.4} ms/step  {:>5.1}%  ({} calls/step)",
             op.name(),
@@ -236,7 +313,7 @@ fn main() {
             json::field("steps", &prof_steps.to_string()),
             json::field(
                 "total_ms_per_step",
-                &json::num(grand / prof_steps as f64 / 1e6),
+                &json::num(pipeline / prof_steps as f64 / 1e6),
             ),
             json::field("ops", &json::array(&prof_items)),
         ]),
@@ -391,6 +468,178 @@ fn main() {
         ]),
     ));
 
+    // ---- kernels: f32 scalar vs SSE2 vs AVX2 vs int8 --------------------
+    //
+    // The PR6 tentpole raced head-to-head with everything else held fixed:
+    // every supported f32 dispatch tier plus the int8 quantized path on the
+    // host's best tier, over (a) a bare 256x512 vecmat, (b) the fused
+    // zero-allocation decode step across cache lengths, and (c) the aligned
+    // γ=5 speculative e2e race. The f32 tiers are bitwise-identical by
+    // construction (identical per-element accumulation order), so only time
+    // differs; the int8 rows run quantized clones of the same weights and
+    // assert spec ≡ AR within their own tier. No cross-tier token asserts:
+    // softmax reductions are lane-parallel, so tiers are only guaranteed
+    // self-consistent (tests/int8_equivalence.rs pins each route).
+    println!("\n== kernels: f32 scalar vs SIMD vs int8 ==");
+    let default_bk = backend();
+    let best = best_supported();
+    let f32_tiers: Vec<Backend> = Backend::ALL
+        .into_iter()
+        .filter(|b| b.is_supported())
+        .collect();
+
+    // (a) bare vecmat, k=256 -> n=512 (the decode hot loop's shape class).
+    let (kk, kn) = (256usize, 512usize);
+    let mut k_rng = Rng::new(0xF00D);
+    let kx: Vec<f32> = (0..kk).map(|_| k_rng.uniform(-1.0, 1.0)).collect();
+    let kw: Vec<f32> = (0..kk * kn).map(|_| k_rng.uniform(-1.0, 1.0)).collect();
+    let mut ky = vec![0.0f32; kn];
+    let mut kernel_vecmat = Vec::new();
+    for &bk in &f32_tiers {
+        set_backend(bk).expect("supported tier");
+        let r = h.bench(&format!("kernels/vecmat/f32/{}", bk.name()), || {
+            vecmat_into(&mut ky, &kx, &kw, kk, kn)
+        });
+        report(&r);
+        kernel_vecmat.push(json::object(&[
+            json::field("config", &json::string(&format!("f32/{}", bk.name()))),
+            json::field("vecmat", &result_json(&r)),
+        ]));
+    }
+    set_backend(best).expect("best tier");
+    let kqm = QuantMatrix::from_kxn(&kw, kk, kn);
+    let mut kq = vec![0i8; kk];
+    let r = h.bench(&format!("kernels/vecmat/int8/{}", best.name()), || {
+        // Mirrors QuantLinear: activation quantization is part of the cost.
+        let sx = quantize_row_i8(&kx, &mut kq);
+        vecmat_q8_into(&mut ky, &kq, sx, &kqm)
+    });
+    report(&r);
+    kernel_vecmat.push(json::object(&[
+        json::field("config", &json::string(&format!("int8/{}", best.name()))),
+        json::field("vecmat", &result_json(&r)),
+    ]));
+
+    // (b) fused decode step across cache lengths, per tier. The int8 config
+    // decodes on a quantized clone of the same bench target; the ctx-512
+    // rows carry the acceptance-bar speedup against the frozen PR5 median.
+    let mut kernel_cfgs: Vec<(String, Backend, KernelPolicy)> = f32_tiers
+        .iter()
+        .map(|b| (format!("f32/{}", b.name()), *b, KernelPolicy::F32))
+        .collect();
+    kernel_cfgs.push((format!("int8/{}", best.name()), best, KernelPolicy::Int8));
+    let q_target = {
+        let mut m = target.clone();
+        m.set_kernel_policy(KernelPolicy::Int8);
+        m
+    };
+    let mut kernel_decode = Vec::new();
+    let mut best_ctx512_speedup = 0.0f64;
+    for (label, bk, policy) in &kernel_cfgs {
+        set_backend(*bk).expect("supported tier");
+        let model = if *policy == KernelPolicy::Int8 {
+            &q_target
+        } else {
+            &target
+        };
+        let mut ctx_items = Vec::new();
+        for ctx in [16usize, 64, 256, 512] {
+            let prompt: Vec<u32> = (0..ctx).map(|_| rng.below(vocab) as u32).collect();
+            let mut cache = model.new_cache();
+            model.forward_infer(&prompt, &mut cache);
+            let r = h.bench(&format!("kernels/decode_step/{label}/ctx_{ctx}"), || {
+                cache.truncate(ctx);
+                model.forward_infer_ws(&[7], &mut cache, &mut ws, &mut step_logits);
+            });
+            report(&r);
+            let mut fields = vec![
+                json::field("ctx", &ctx.to_string()),
+                json::field("step", &result_json(&r)),
+            ];
+            if ctx == 512 {
+                let speedup = PR5_FUSED_CTX512_MS / (r.median_ns / 1e6);
+                best_ctx512_speedup = best_ctx512_speedup.max(speedup);
+                println!("  {label}: ctx-512 speedup vs PR5 scalar = {speedup:.2}x");
+                fields.push(json::field("speedup_vs_pr5_scalar", &json::num(speedup)));
+            }
+            ctx_items.push(json::object(&fields));
+        }
+        kernel_decode.push(json::object(&[
+            json::field("config", &json::string(label)),
+            json::field("rows", &json::array(&ctx_items)),
+        ]));
+    }
+
+    // (c) aligned γ=5 speculative race per tier. Int8 quantizes both the
+    // e2e target and the aligned draft; spec vs AR run on the SAME
+    // tier+policy, so losslessness is assertable in-tier.
+    let q_e2e_target = {
+        let mut m = e2e_target.clone();
+        m.set_kernel_policy(KernelPolicy::Int8);
+        m
+    };
+    let q_aligned = {
+        let mut m = aligned.clone();
+        m.set_kernel_policy(KernelPolicy::Int8);
+        m
+    };
+    let mut kernel_e2e = Vec::new();
+    for (label, bk, policy) in &kernel_cfgs {
+        set_backend(*bk).expect("supported tier");
+        let (t_ref, d_ref) = if *policy == KernelPolicy::Int8 {
+            (&q_e2e_target, &q_aligned)
+        } else {
+            (&e2e_target, &aligned)
+        };
+        let tier_ref =
+            autoregressive_greedy_with_budget_ws(t_ref, &e2e_prompt, e2e_budget, &mut ws);
+        let (out, _) =
+            speculative_greedy_with_budget_ws(t_ref, d_ref, &e2e_prompt, e2e_budget, 5, &mut ws);
+        assert_eq!(out, tier_ref, "in-tier losslessness violated: {label}");
+        let kar = h.bench(&format!("kernels/e2e/ar/{label}"), || {
+            autoregressive_greedy_with_budget_ws(t_ref, &e2e_prompt, e2e_budget, &mut ws)
+        });
+        let kspec = h.bench(&format!("kernels/e2e/spec_g5/{label}"), || {
+            speculative_greedy_with_budget_ws(t_ref, d_ref, &e2e_prompt, e2e_budget, 5, &mut ws)
+        });
+        report(&kar);
+        report(&kspec);
+        let speedup = kar.median_ns / kspec.median_ns;
+        println!("  {label}: spec γ=5 vs AR = {speedup:.2}x");
+        kernel_e2e.push(json::object(&[
+            json::field("config", &json::string(label)),
+            json::field("autoregressive", &result_json(&kar)),
+            json::field("speculative_g5", &result_json(&kspec)),
+            json::field("speedup_spec_vs_ar", &json::num(speedup)),
+            json::field("lossless_in_tier", "true"),
+        ]));
+    }
+    set_backend(default_bk).expect("restore default backend");
+    println!("best ctx-512 decode-step speedup vs PR5 scalar: {best_ctx512_speedup:.2}x");
+    sections.push(json::field(
+        "kernels",
+        &json::object(&[
+            json::field("host_best", &json::string(best.name())),
+            json::field("vecmat", &json::array(&kernel_vecmat)),
+            json::field("decode_step", &json::array(&kernel_decode)),
+            json::field("end_to_end", &json::array(&kernel_e2e)),
+            json::field("pr5_fused_ctx512_ms", &json::num(PR5_FUSED_CTX512_MS)),
+            json::field(
+                "best_ctx512_speedup_vs_pr5_scalar",
+                &json::num(best_ctx512_speedup),
+            ),
+            json::field(
+                "note",
+                &json::string(
+                    "f32 tiers are bitwise-identical by construction; int8 rows run \
+                     quantized clones of the same weights and assert spec==AR within \
+                     their own tier; PR5 baseline is the frozen pre-SIMD (scalar) \
+                     fused ctx-512 median",
+                ),
+            ),
+        ]),
+    ));
+
     // ---- serving: continuous batching, speculative vs autoregressive ----
     //
     // The production question for AASD: does the aligned draft's speedup
@@ -450,6 +699,7 @@ fn main() {
                     slots: clients,
                     workers: 1,
                     max_queue: n_req,
+                    ..EngineConfig::default()
                 },
             );
             let t0 = Instant::now();

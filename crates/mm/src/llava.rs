@@ -139,6 +139,19 @@ impl LlavaSim {
         self.cfg.n_img()
     }
 
+    /// Switch the language model's fused-path kernel family (see
+    /// [`Decoder::set_kernel_policy`]). The vision tower and connector run
+    /// only during prefill — a one-time cost per request — so they stay on
+    /// the f32 kernels under either policy.
+    pub fn set_kernel_policy(&mut self, policy: aasd_nn::KernelPolicy) {
+        self.lm.set_kernel_policy(policy);
+    }
+
+    /// The kernel family the LM's fused decode path currently runs.
+    pub fn kernel_policy(&self) -> aasd_nn::KernelPolicy {
+        self.lm.kernel_policy()
+    }
+
     /// Vision tower + connector: image → `[n_img, lm.dim]` embedding rows
     /// ready to enter the decoder where token embeddings would.
     pub fn encode_image(&self, image: &Image) -> Tensor {

@@ -15,6 +15,7 @@
 use crate::cache::LayerKv;
 use crate::layers::Linear;
 use crate::rope::Rope;
+use aasd_tensor::simd::{attn_mix_with, attn_scores_with, softmax_row_with};
 use aasd_tensor::{axpy, dot, softmax_row, Op, Rng, Tensor, Workspace};
 
 #[derive(Debug, Clone)]
@@ -110,14 +111,16 @@ impl Attention {
         debug_assert_eq!(norm_x.len(), t * dim);
         debug_assert_eq!(resid.len(), t * dim);
         let pos0 = cache.len();
+        // Resolve the SIMD backend once per call instead of per score row.
+        let bk = aasd_tensor::backend();
 
         let span = ws.prof.begin();
         let mut q = ws.take(t * dim);
         let mut k = ws.take(t * dim);
         let mut v = ws.take(t * dim);
-        self.wq.forward_rows_into(norm_x, t, &mut q);
-        self.wk.forward_rows_into(norm_x, t, &mut k);
-        self.wv.forward_rows_into(norm_x, t, &mut v);
+        self.wq.forward_rows_into_ws(norm_x, t, ws, &mut q);
+        self.wk.forward_rows_into_ws(norm_x, t, ws, &mut k);
+        self.wv.forward_rows_into_ws(norm_x, t, ws, &mut v);
         for i in 0..t {
             for h in 0..self.n_heads {
                 let hs = h * self.head_dim..(h + 1) * self.head_dim;
@@ -133,6 +136,12 @@ impl Attention {
         let scale = self.scale();
         let mut ctx = ws.take(t * dim);
         let mut scores = ws.take(cache.capacity());
+        // One batched-kernel call per head instead of one `dot`/`axpy` call
+        // per cached position: the whole position loop runs inside a single
+        // SIMD dispatch (see `attn_scores_with`/`attn_mix_with`), which is
+        // bit-identical per tier to the per-position loop it replaced.
+        let keys = cache.keys();
+        let values = cache.values();
         for i in 0..t {
             let ctx_len = pos0 + i + 1; // causal: positions 0..=pos0+i
             for h in 0..self.n_heads {
@@ -140,22 +149,18 @@ impl Attention {
                 let q_head = &q[i * dim..][hs.clone()];
                 let span = ws.prof.begin();
                 let scores = &mut scores[..ctx_len];
-                for (j, s) in scores.iter_mut().enumerate() {
-                    *s = dot(q_head, &cache.key(j)[hs.clone()]) * scale;
-                }
-                softmax_row(scores);
+                attn_scores_with(bk, scores, q_head, &keys[hs.start..], dim, scale);
+                softmax_row_with(bk, scores);
                 ws.prof.end(span, Op::AttnScore);
                 let span = ws.prof.begin();
                 let out_head = &mut ctx[i * dim..][hs.clone()];
-                for (j, &w) in scores.iter().enumerate() {
-                    axpy(out_head, w, &cache.value(j)[hs.clone()]);
-                }
+                attn_mix_with(bk, out_head, scores, &values[hs.start..], dim);
                 ws.prof.end(span, Op::AttnMix);
             }
         }
 
         let span = ws.prof.begin();
-        self.wo.forward_rows_acc(&ctx, t, resid);
+        self.wo.forward_rows_acc_ws(&ctx, t, ws, resid);
         ws.prof.end(span, Op::OProj);
 
         ws.give(q);

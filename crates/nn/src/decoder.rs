@@ -6,9 +6,10 @@
 use crate::attention::Attention;
 use crate::cache::{KvCache, LayerKv};
 use crate::layers::{Embedding, Linear, RmsNorm};
+use crate::quant::KernelPolicy;
 use crate::rope::Rope;
 use aasd_autograd::{Tape, VarId};
-use aasd_tensor::{add_assign, argmax, silu, Op, Rng, Tensor, Workspace};
+use aasd_tensor::{add_assign, argmax, silu, silu_mul, Op, Rng, Tensor, Workspace};
 
 /// Hyperparameters for a decoder-only transformer.
 #[derive(Debug, Clone)]
@@ -104,12 +105,10 @@ impl Mlp {
         let span = ws.prof.begin();
         let mut gate = ws.take(t * hidden);
         let mut up = ws.take(t * hidden);
-        self.w1.forward_rows_into(norm_x, t, &mut gate);
-        self.w3.forward_rows_into(norm_x, t, &mut up);
-        for (g, u) in gate.iter_mut().zip(up.iter()) {
-            *g = silu(*g) * *u;
-        }
-        self.w2.forward_rows_acc(&gate, t, resid);
+        self.w1.forward_rows_into_ws(norm_x, t, ws, &mut gate);
+        self.w3.forward_rows_into_ws(norm_x, t, ws, &mut up);
+        silu_mul(&mut gate, &up);
+        self.w2.forward_rows_acc_ws(&gate, t, ws, resid);
         ws.prof.end(span, Op::Mlp);
         ws.give(gate);
         ws.give(up);
@@ -188,6 +187,9 @@ pub struct Decoder {
     pub final_norm: RmsNorm,
     pub lm_head: Linear,
     pub rope: Rope,
+    /// Kernel family the fused decode path runs; set via
+    /// [`Decoder::set_kernel_policy`].
+    kernel_policy: KernelPolicy,
 }
 
 impl Decoder {
@@ -209,12 +211,39 @@ impl Decoder {
             final_norm,
             lm_head,
             rope,
+            kernel_policy: KernelPolicy::F32,
         }
     }
 
     /// Fresh cache sized for this model.
     pub fn new_cache(&self) -> KvCache {
         KvCache::new(self.cfg.n_layers, self.cfg.max_seq, self.cfg.dim)
+    }
+
+    /// Switch every projection (per-block `wq`/`wk`/`wv`/`wo`/`w1`/`w2`/`w3`
+    /// and the LM head) to the given kernel family. `Int8` quantizes each
+    /// weight once, here; embeddings and norms stay f32 on either policy, as
+    /// do the allocating reference paths (`forward_infer`, `forward_full`).
+    ///
+    /// The int8 shadows snapshot the weights at call time — if the model is
+    /// subsequently trained, re-call this to refresh them.
+    pub fn set_kernel_policy(&mut self, policy: KernelPolicy) {
+        for block in &mut self.blocks {
+            block.attn.wq.set_policy(policy);
+            block.attn.wk.set_policy(policy);
+            block.attn.wv.set_policy(policy);
+            block.attn.wo.set_policy(policy);
+            block.mlp.w1.set_policy(policy);
+            block.mlp.w2.set_policy(policy);
+            block.mlp.w3.set_policy(policy);
+        }
+        self.lm_head.set_policy(policy);
+        self.kernel_policy = policy;
+    }
+
+    /// The kernel family the fused decode path currently runs.
+    pub fn kernel_policy(&self) -> KernelPolicy {
+        self.kernel_policy
     }
 
     /// Incremental forward: append `tokens` (absolute positions start at
@@ -313,7 +342,7 @@ impl Decoder {
         ws.prof.end(span, Op::RmsNorm);
 
         let span = ws.prof.begin();
-        self.lm_head.forward_rows_into(&xn, t, logits);
+        self.lm_head.forward_rows_into_ws(&xn, t, ws, logits);
         ws.prof.end(span, Op::LmHead);
 
         ws.give(x);
@@ -642,6 +671,66 @@ mod tests {
         model.forward_infer_ws(&[7], &mut cache_ws, &mut ws, &mut l1);
         let l2 = model.forward_infer(&[7], &mut cache_tok);
         assert!(max_abs_diff(&l1, l2.row(0)) < 1e-4);
+    }
+
+    /// Switching to the int8 policy must keep the fused logits close to the
+    /// f32 path (per-row absmax quantization error only), attribute time to
+    /// the nested quant profiler ops with the expected counts, and stay
+    /// zero-allocation in steady state; switching back to f32 restores
+    /// bit-identical logits.
+    #[test]
+    fn int8_policy_tracks_f32_and_profiles_quant_ops() {
+        let f32_model = Decoder::new(DecoderConfig::tiny(50), 0x18);
+        let mut q_model = f32_model.clone();
+        assert_eq!(q_model.kernel_policy(), KernelPolicy::F32);
+        q_model.set_kernel_policy(KernelPolicy::Int8);
+        assert_eq!(q_model.kernel_policy(), KernelPolicy::Int8);
+
+        let vocab = f32_model.cfg.vocab;
+        let mut rng = Rng::new(83);
+        let tokens: Vec<u32> = (0..12).map(|_| rng.below(50) as u32).collect();
+
+        let mut ws_a = Workspace::new();
+        let mut ws_b = Workspace::new();
+        let mut cache_a = f32_model.new_cache();
+        let mut cache_b = q_model.new_cache();
+        let mut la = vec![0.0f32; vocab];
+        let mut lb = vec![0.0f32; vocab];
+        ws_b.prof.enable();
+        let mut drift = 0.0f32;
+        for &tok in &tokens {
+            f32_model.forward_infer_ws(&[tok], &mut cache_a, &mut ws_a, &mut la);
+            q_model.forward_infer_ws(&[tok], &mut cache_b, &mut ws_b, &mut lb);
+            drift = drift.max(max_abs_diff(&la, &lb));
+        }
+        assert!(drift > 0.0, "int8 path suspiciously identical to f32");
+        assert!(drift < 0.5, "int8 logits drifted too far: {drift}");
+
+        // 7 projections per block + the LM head, one row each per step.
+        let steps = tokens.len() as u64;
+        let expect = steps * (7 * q_model.cfg.n_layers as u64 + 1);
+        assert_eq!(ws_b.prof.calls(Op::Quantize), expect);
+        assert_eq!(ws_b.prof.calls(Op::Q8Vecmat), expect);
+        assert!(ws_b.prof.pipeline_total_ns() >= ws_b.prof.total_ns(Op::Q8Vecmat));
+
+        // Steady state stays allocation-free on the int8 path too.
+        let after_warmup = ws_b.fresh_allocs();
+        for &tok in tokens.iter().rev().take(4) {
+            q_model.forward_infer_ws(&[tok], &mut cache_b, &mut ws_b, &mut lb);
+        }
+        assert_eq!(ws_b.fresh_allocs(), after_warmup, "int8 decode allocated");
+
+        // Back to f32: bit-identical to the never-quantized model.
+        q_model.set_kernel_policy(KernelPolicy::F32);
+        let mut cache_c = q_model.new_cache();
+        let mut cache_d = f32_model.new_cache();
+        let mut lc = vec![0.0f32; vocab];
+        let mut ld = vec![0.0f32; vocab];
+        for &tok in &tokens {
+            q_model.forward_infer_ws(&[tok], &mut cache_c, &mut ws_b, &mut lc);
+            f32_model.forward_infer_ws(&[tok], &mut cache_d, &mut ws_a, &mut ld);
+        }
+        assert_eq!(lc, ld, "restored f32 policy must be exact");
     }
 
     #[test]

@@ -5,23 +5,41 @@
 //! reference, and `_into`/`_acc` variants that write into caller-provided
 //! slices — the building blocks of the zero-allocation fused decode path.
 
+use crate::quant::{KernelPolicy, QuantLinear};
 use aasd_tensor::{
     matmul_blocked_acc_into, matmul_blocked_into, vecmat_acc_into, vecmat_into, Rng, Tensor,
+    Workspace,
 };
 
 /// Bias-free linear layer. The weight is stored `[in, out]` so a batch of
 /// row vectors multiplies it directly (`x: [t, in]` → `x·W: [t, out]`) with
 /// unit-stride access in the blocked matmul kernel.
+///
+/// Under [`KernelPolicy::Int8`] the layer additionally carries a
+/// [`QuantLinear`] shadow of the weight; only the fused `_ws` forwards
+/// consult it — the allocating reference paths always run f32.
 #[derive(Debug, Clone)]
 pub struct Linear {
     pub w: Tensor,
+    pub quant: Option<QuantLinear>,
 }
 
 impl Linear {
     pub fn new(rng: &mut Rng, fan_in: usize, fan_out: usize) -> Self {
         Self {
             w: Tensor::xavier(rng, fan_in, fan_out),
+            quant: None,
         }
+    }
+
+    /// Switch this layer's fused-path kernel family. `Int8` quantizes the
+    /// current weight once (re-call after any weight mutation — the shadow
+    /// does not track training updates); `F32` drops the shadow.
+    pub fn set_policy(&mut self, policy: KernelPolicy) {
+        self.quant = match policy {
+            KernelPolicy::F32 => None,
+            KernelPolicy::Int8 => Some(QuantLinear::new(&self.w)),
+        };
     }
 
     pub fn forward(&self, x: &Tensor) -> Tensor {
@@ -50,6 +68,32 @@ impl Linear {
             vecmat_acc_into(out, x, &self.w.data, k, n);
         } else {
             matmul_blocked_acc_into(out, x, &self.w.data, rows, k, n);
+        }
+    }
+
+    /// Workspace-aware `out = x·W`: routes to the int8 kernels when a
+    /// quantized shadow is installed, the f32 kernels otherwise. The fused
+    /// decode path calls this so a single policy switch redirects every
+    /// projection.
+    pub fn forward_rows_into_ws(
+        &self,
+        x: &[f32],
+        rows: usize,
+        ws: &mut Workspace,
+        out: &mut [f32],
+    ) {
+        match &self.quant {
+            Some(q) => q.forward_rows_into(x, rows, ws, out),
+            None => self.forward_rows_into(x, rows, out),
+        }
+    }
+
+    /// Workspace-aware `out += x·W` (residual-folded); see
+    /// [`Linear::forward_rows_into_ws`].
+    pub fn forward_rows_acc_ws(&self, x: &[f32], rows: usize, ws: &mut Workspace, out: &mut [f32]) {
+        match &self.quant {
+            Some(q) => q.forward_rows_acc(x, rows, ws, out),
+            None => self.forward_rows_acc(x, rows, out),
         }
     }
 }
@@ -111,8 +155,12 @@ impl RmsNorm {
         out
     }
 
+    /// In-place row normalization. The mean-square reduction dispatches on
+    /// the active SIMD backend; [`RmsNorm::forward_into`] uses the same
+    /// reduction, so the two paths stay bit-identical on every tier.
     pub fn forward_row(&self, row: &mut [f32]) {
-        let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / row.len() as f32;
+        let bk = aasd_tensor::backend();
+        let ms = aasd_tensor::simd::sum_squares_with(bk, row) / row.len() as f32;
         let inv = 1.0 / (ms + self.eps).sqrt();
         for (v, g) in row.iter_mut().zip(self.gain.iter()) {
             *v *= inv * *g;
@@ -126,12 +174,9 @@ impl RmsNorm {
         let dim = self.gain.len();
         assert_eq!(x.len(), rows * dim);
         assert_eq!(out.len(), rows * dim);
+        let bk = aasd_tensor::backend();
         for (x_row, o_row) in x.chunks_exact(dim).zip(out.chunks_exact_mut(dim)) {
-            let ms: f32 = x_row.iter().map(|v| v * v).sum::<f32>() / dim as f32;
-            let inv = 1.0 / (ms + self.eps).sqrt();
-            for ((o, v), g) in o_row.iter_mut().zip(x_row.iter()).zip(self.gain.iter()) {
-                *o = *v * (inv * *g);
-            }
+            aasd_tensor::simd::rms_norm_row_with(bk, x_row, &self.gain, self.eps, o_row);
         }
     }
 }

@@ -4,6 +4,8 @@
 //! and draft models of the speculative-decoding engine are built from:
 //!
 //! * [`layers`] — `Linear`, `Embedding`, `RmsNorm`;
+//! * [`quant`] — the [`quant::KernelPolicy`] switch and int8
+//!   [`quant::QuantLinear`] shadow weights for the fused decode path;
 //! * [`rope`] — rotary position embeddings with precomputed tables;
 //! * [`cache`] — pre-allocated growable KV cache with O(1) rollback
 //!   (the structure the AASD draft head will later attend over);
@@ -22,10 +24,12 @@ pub mod attention;
 pub mod cache;
 pub mod decoder;
 pub mod layers;
+pub mod quant;
 pub mod rope;
 
 pub use attention::Attention;
 pub use cache::{KvCache, KvCheckpoint, LayerKv};
 pub use decoder::{Decoder, DecoderBlock, DecoderConfig, Mlp};
 pub use layers::{Embedding, Linear, RmsNorm};
+pub use quant::{KernelPolicy, QuantLinear};
 pub use rope::Rope;

@@ -20,6 +20,7 @@ fn main() {
             slots: 4,
             workers: 1,
             max_queue: 32,
+            ..EngineConfig::default()
         },
     );
     let mut server = Server::start(Arc::clone(&engine), "127.0.0.1:0").expect("bind");

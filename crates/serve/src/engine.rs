@@ -33,7 +33,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use aasd_mm::{seed_draft_prefix, Ablation, Image, KvProjector, LlavaSim};
-use aasd_nn::{Decoder, KvCache};
+use aasd_nn::{Decoder, KernelPolicy, KvCache};
 use aasd_specdec::{ArSession, SpecSession, MAX_GAMMA};
 use aasd_tensor::{argmax, Rng, Workspace};
 
@@ -85,6 +85,13 @@ pub struct EngineConfig {
     /// Admission cap: a submit that would push the queue past this is
     /// rejected with [`Rejection::Busy`].
     pub max_queue: usize,
+    /// Kernel family the **target** model's fused decode path must be
+    /// running (the draft may differ — policies are per model). The engine
+    /// holds its models behind `Arc`, so the policy is applied by the model
+    /// owner before construction; [`Engine::new`] asserts the model matches
+    /// this declaration so a config typo cannot silently serve the wrong
+    /// kernels.
+    pub kernel_policy: KernelPolicy,
 }
 
 impl Default for EngineConfig {
@@ -93,6 +100,7 @@ impl Default for EngineConfig {
             slots: 4,
             workers: 1,
             max_queue: 64,
+            kernel_policy: KernelPolicy::F32,
         }
     }
 }
@@ -167,6 +175,11 @@ impl Engine {
     pub fn new(model: EngineModel, cfg: EngineConfig) -> Arc<Self> {
         assert!(cfg.slots >= 1, "engine needs at least one slot");
         assert!(cfg.workers >= 1, "engine needs at least one worker");
+        assert_eq!(
+            model.target_lm().kernel_policy(),
+            cfg.kernel_policy,
+            "target model kernel policy does not match the engine config"
+        );
         let slots = (0..cfg.slots)
             .map(|_| Slot {
                 t_cache: model.target_lm().new_cache(),
@@ -610,6 +623,7 @@ mod tests {
                 slots,
                 workers,
                 max_queue,
+                kernel_policy: KernelPolicy::F32,
             },
         )
     }
@@ -644,6 +658,48 @@ mod tests {
         assert_eq!(engine.metrics().requests_completed.get(), 1);
         assert_eq!(engine.metrics().tokens_generated.get(), 24);
         assert!(h.ttft_ms().is_some());
+    }
+
+    /// An engine declared `Int8` serves a quantized target and its spec
+    /// completions equal the one-shot fused loop on the same quantized
+    /// models — losslessness survives scheduling under either kernel family.
+    #[test]
+    fn int8_engine_serves_losslessly() {
+        let mut target = Decoder::new(DecoderConfig::tiny(40), 10);
+        target.set_kernel_policy(KernelPolicy::Int8);
+        let draft = Decoder::new(DecoderConfig::tiny(40), 20);
+        let engine = Engine::new(
+            EngineModel::Text {
+                target: Arc::new(target.clone()),
+                draft: Arc::new(draft.clone()),
+            },
+            EngineConfig {
+                kernel_policy: KernelPolicy::Int8,
+                ..EngineConfig::default()
+            },
+        );
+        let mut ws = Workspace::new();
+        let prompt = vec![3u32, 7, 1, 9];
+        let (want, _) = speculative_greedy_with_budget_ws(&target, &draft, &prompt, 20, 4, &mut ws);
+        let h = engine.submit(spec_req(prompt, 20, 4)).unwrap();
+        engine.run_until_idle();
+        assert_eq!(h.snapshot(), (Status::Done, want));
+    }
+
+    /// A config that declares a kernel family the model is not actually
+    /// running must be refused at construction.
+    #[test]
+    #[should_panic(expected = "kernel policy")]
+    fn engine_rejects_mismatched_kernel_policy() {
+        let target = Arc::new(Decoder::new(DecoderConfig::tiny(40), 10));
+        let draft = Arc::new(Decoder::new(DecoderConfig::tiny(40), 20));
+        Engine::new(
+            EngineModel::Text { target, draft },
+            EngineConfig {
+                kernel_policy: KernelPolicy::Int8,
+                ..EngineConfig::default()
+            },
+        );
     }
 
     /// AR sessions served through the engine match the fused AR loop.
@@ -836,6 +892,7 @@ mod tests {
                 slots: 2,
                 workers: 1,
                 max_queue: 8,
+                kernel_policy: KernelPolicy::F32,
             },
         );
         let mut ws = Workspace::new();

@@ -29,6 +29,14 @@
 //!   forward. That removes one full target pass per block, which on a CPU
 //!   clock is the difference between speculative decoding losing and
 //!   winning at realistic acceptance rates.
+//!
+//! Kernel policy rides on the models, not the loops: a `Decoder` switched
+//! to `aasd_nn::KernelPolicy::Int8` runs its fused forwards on the int8
+//! kernels inside every session and loop here with no API change. The
+//! quantized forward is bit-identical between single-token decode and
+//! batched verify (per-row kernels), so losslessness (spec ≡ AR on the
+//! same target) holds under either policy — and draft and target may run
+//! different policies (`tests/int8_equivalence.rs` pins both properties).
 
 pub mod metrics;
 pub mod session;

@@ -8,6 +8,11 @@
 //!   the benches in `aasd-bench` track the gap between them), plus the
 //!   4-way-unrolled [`vecmat_into`] t = 1 decode fast path;
 //! * [`ops`] — fused softmax, argmax, SiLU, axpy/dot primitives;
+//! * [`simd`] — runtime-dispatched AVX2/SSE2/scalar kernel tiers behind
+//!   the hot-path primitives (`AASD_KERNEL` overridable, bitwise-stable
+//!   vecmat across tiers);
+//! * [`quant`] — int8 per-row absmax weight quantization and the exact
+//!   i32-accumulating `vecmat_q8` kernels;
 //! * [`rng`] — deterministic SplitMix64 RNG (std-only `rand` stand-in);
 //! * [`workspace`] — the grow-once scratch arena behind the
 //!   zero-allocation fused decode path;
@@ -18,19 +23,23 @@
 pub mod matmul;
 pub mod ops;
 pub mod profile;
+pub mod quant;
 pub mod rng;
+pub mod simd;
 pub mod workspace;
 
 pub use matmul::{
     hardware_threads, matmul_blocked_acc_into, matmul_blocked_into, matmul_naive_into,
-    matmul_parallel_into, matvec_into, vecmat_acc_into, vecmat_into,
+    matmul_parallel_into, matvec_into, threads_from_env, vecmat_acc_into, vecmat_into,
 };
 pub use ops::{
     add_assign, argmax, axpy, dot, log_softmax_row, log_softmax_rows, silu, softmax_row,
     softmax_rows,
 };
 pub use profile::{Op, ProfSpan, Profiler};
+pub use quant::{quantize_row_i8, vecmat_q8_acc_into, vecmat_q8_into, QuantMatrix};
 pub use rng::Rng;
+pub use simd::{backend, best_supported, rms_norm_row_into, set_backend, silu_mul, Backend};
 pub use workspace::Workspace;
 
 /// Row-major 2-D f32 matrix: `rows × cols`, `data.len() == rows * cols`.

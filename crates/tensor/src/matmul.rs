@@ -73,6 +73,7 @@ fn matmul_blocked_rows(
     k: usize,
     n: usize,
 ) {
+    let bk = crate::simd::backend();
     for i0 in (row0..row1).step_by(BLOCK_I) {
         let i1 = (i0 + BLOCK_I).min(row1);
         for k0 in (0..k).step_by(BLOCK_K) {
@@ -86,24 +87,38 @@ fn matmul_blocked_rows(
                         continue;
                     }
                     let b_row = &b[kk * n..kk * n + n];
-                    for (cv, bv) in c_row.iter_mut().zip(b_row.iter()) {
-                        *cv += aik * *bv;
-                    }
+                    crate::simd::axpy_with(bk, c_row, aik, b_row);
                 }
             }
         }
     }
 }
 
-/// Number of worker threads the parallel kernel will use. Cached in a
-/// `OnceLock`: `available_parallelism` is a syscall, and this is queried on
-/// every [`matmul_parallel_into`] call in the decode hot loop.
+/// Resolve the worker-thread count from an optional `AASD_THREADS`-style
+/// override. A parseable value wins and is clamped to ≥ 1 (so `0` means
+/// "serial", not "zero workers"); an unset, empty, or unparseable value
+/// falls back to the detected count. Pure so the override logic is unit-
+/// testable despite [`hardware_threads`]'s `OnceLock` cache.
+pub fn threads_from_env(raw: Option<&str>, fallback: usize) -> usize {
+    match raw.and_then(|s| s.trim().parse::<usize>().ok()) {
+        Some(n) => n.max(1),
+        None => fallback.max(1),
+    }
+}
+
+/// Number of worker threads the parallel kernel will use: the
+/// `AASD_THREADS` env override when set (clamped to ≥ 1, so benches and CI
+/// can pin parallelism deterministically), otherwise the detected core
+/// count. Cached in a `OnceLock`: `available_parallelism` is a syscall, and
+/// this is queried on every [`matmul_parallel_into`] call in the decode hot
+/// loop.
 pub fn hardware_threads() -> usize {
     static HW_THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *HW_THREADS.get_or_init(|| {
-        std::thread::available_parallelism()
+        let detected = std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(1)
+            .unwrap_or(1);
+        threads_from_env(std::env::var("AASD_THREADS").ok().as_deref(), detected)
     })
 }
 
@@ -152,10 +167,12 @@ pub fn matvec_into(y: &mut [f32], a: &[f32], x: &[f32], m: usize, k: usize) {
 /// Row-vector–matrix product `y = x·W` (`x: k`, `W: k×n` row-major) — the
 /// t = 1 decode fast path for `Linear` layers, whose weights are stored
 /// `[in, out]`. The product is a sum of scaled rows of `W`, so the kernel
-/// is a 4-way-unrolled axpy sweep: four weight rows stream per pass,
+/// is a 4-way-unrolled axpy sweep (SIMD-dispatched across the output
+/// dimension; see [`crate::simd`]): four weight rows stream per pass,
 /// quartering the load/store traffic on `y` that dominates this
 /// memory-bound shape. Accumulation order over `kk` is identical to the
-/// blocked kernel's, so t = 1 and t > 1 paths agree bit-for-bit.
+/// blocked kernel's on every backend, so t = 1 and t > 1 paths agree
+/// bit-for-bit.
 pub fn vecmat_into(y: &mut [f32], x: &[f32], w: &[f32], k: usize, n: usize) {
     y.fill(0.0);
     vecmat_acc_into(y, x, w, k, n);
@@ -164,37 +181,7 @@ pub fn vecmat_into(y: &mut [f32], x: &[f32], w: &[f32], k: usize, n: usize) {
 /// Accumulating variant: `y += x·W`. Writing the residual stream directly
 /// as `y` folds the residual-add into the projection (no separate pass).
 pub fn vecmat_acc_into(y: &mut [f32], x: &[f32], w: &[f32], k: usize, n: usize) {
-    assert_eq!(x.len(), k, "x must have k entries");
-    assert_eq!(w.len(), k * n, "W must be k×n");
-    assert_eq!(y.len(), n, "y must have n entries");
-    let mut kk = 0;
-    while kk + 4 <= k {
-        let (a0, a1, a2, a3) = (x[kk], x[kk + 1], x[kk + 2], x[kk + 3]);
-        let (w0, rest) = w[kk * n..].split_at(n);
-        let (w1, rest) = rest.split_at(n);
-        let (w2, rest) = rest.split_at(n);
-        let w3 = &rest[..n];
-        for ((((yv, v0), v1), v2), v3) in y
-            .iter_mut()
-            .zip(w0.iter())
-            .zip(w1.iter())
-            .zip(w2.iter())
-            .zip(w3.iter())
-        {
-            // Left-associated adds: the same rounding sequence as four
-            // separate axpy passes (what the blocked kernel performs).
-            *yv = *yv + a0 * *v0 + a1 * *v1 + a2 * *v2 + a3 * *v3;
-        }
-        kk += 4;
-    }
-    while kk < k {
-        let a = x[kk];
-        let w_row = &w[kk * n..kk * n + n];
-        for (yv, wv) in y.iter_mut().zip(w_row.iter()) {
-            *yv += a * *wv;
-        }
-        kk += 1;
-    }
+    crate::simd::vecmat_acc_into_with(crate::simd::backend(), y, x, w, k, n);
 }
 
 #[cfg(test)]
@@ -333,6 +320,23 @@ mod tests {
         for ((cv, bv), pv) in c.iter().zip(&base).zip(&prod) {
             assert!((cv - (bv + pv)).abs() < 1e-4);
         }
+    }
+
+    /// Satellite: the `AASD_THREADS` override logic — parseable values win
+    /// and clamp to ≥ 1, anything else falls back to the detected count.
+    #[test]
+    fn threads_from_env_override_and_fallback() {
+        assert_eq!(threads_from_env(Some("8"), 2), 8);
+        assert_eq!(threads_from_env(Some(" 3 "), 2), 3);
+        // Clamp: 0 means "serial", never zero workers.
+        assert_eq!(threads_from_env(Some("0"), 4), 1);
+        // Invalid values fall back to the detected count.
+        assert_eq!(threads_from_env(Some("abc"), 4), 4);
+        assert_eq!(threads_from_env(Some(""), 4), 4);
+        assert_eq!(threads_from_env(Some("-2"), 4), 4);
+        assert_eq!(threads_from_env(None, 4), 4);
+        // The fallback itself is clamped too.
+        assert_eq!(threads_from_env(None, 0), 1);
     }
 
     #[test]

@@ -3,30 +3,13 @@
 /// Numerically-stable in-place softmax over one row.
 ///
 /// Fused single-temporary formulation: one pass for the max, one pass that
-/// exponentiates and accumulates the normalizer, one scale pass.
-///
-/// A fully-masked row (every entry `-inf`, as a causal mask can produce)
-/// falls back to the uniform distribution instead of emitting `0/0 = NaN`
+/// exponentiates and accumulates the normalizer, one scale pass. Dispatches
+/// on the active SIMD backend (see [`crate::simd`]); every tier shares the
+/// same fully-masked fallback: a row of all `-inf` (as a causal mask can
+/// produce) becomes the uniform distribution instead of `0/0 = NaN`
 /// everywhere.
 pub fn softmax_row(row: &mut [f32]) {
-    if row.is_empty() {
-        return;
-    }
-    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    if max == f32::NEG_INFINITY {
-        let uniform = 1.0 / row.len() as f32;
-        row.fill(uniform);
-        return;
-    }
-    let mut sum = 0.0f32;
-    for v in row.iter_mut() {
-        *v = (*v - max).exp();
-        sum += *v;
-    }
-    let inv = 1.0 / sum;
-    for v in row.iter_mut() {
-        *v *= inv;
-    }
+    crate::simd::softmax_row_with(crate::simd::backend(), row);
 }
 
 /// In-place softmax over every `cols`-wide row of a row-major matrix.
@@ -73,19 +56,7 @@ pub fn log_softmax_rows(data: &mut [f32], cols: usize) {
 /// failure mode that turns one bad logit into undetected garbage decoding.
 /// Debug builds therefore reject NaN input outright.
 pub fn argmax(row: &[f32]) -> usize {
-    debug_assert!(
-        row.iter().all(|v| !v.is_nan()),
-        "argmax over a row containing NaN"
-    );
-    let mut best = 0;
-    let mut best_v = f32::NEG_INFINITY;
-    for (i, &v) in row.iter().enumerate() {
-        if v > best_v {
-            best_v = v;
-            best = i;
-        }
-    }
-    best
+    crate::simd::argmax_with(crate::simd::backend(), row)
 }
 
 /// SiLU (swish) activation: `x * sigmoid(x)`.
@@ -102,24 +73,16 @@ pub fn add_assign(a: &mut [f32], b: &[f32]) {
     }
 }
 
-/// Dot product.
+/// Dot product (SIMD-dispatched; see [`crate::simd::dot_with`]).
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0f32;
-    for (av, bv) in a.iter().zip(b.iter()) {
-        acc += *av * *bv;
-    }
-    acc
+    crate::simd::dot_with(crate::simd::backend(), a, b)
 }
 
-/// `y += s * x` (axpy).
+/// `y += s * x` (axpy, SIMD-dispatched; see [`crate::simd::axpy_with`]).
 #[inline]
 pub fn axpy(y: &mut [f32], s: f32, x: &[f32]) {
-    debug_assert_eq!(y.len(), x.len());
-    for (yv, xv) in y.iter_mut().zip(x.iter()) {
-        *yv += s * *xv;
-    }
+    crate::simd::axpy_with(crate::simd::backend(), y, s, x)
 }
 
 #[cfg(test)]

@@ -32,14 +32,40 @@ pub enum Op {
     Mlp = 6,
     /// Final logits projection.
     LmHead = 7,
+    /// Per-call activation quantization on the int8 path. **Nested** inside
+    /// the enclosing projection span (`Qkv`/`OProj`/`Mlp`/`LmHead`), so its
+    /// time is also counted there — compare against
+    /// [`Profiler::pipeline_total_ns`], not add to it.
+    Quantize = 8,
+    /// int8 vecmat (`Σ qx·qw` + scale) on the int8 path. Nested like
+    /// [`Op::Quantize`].
+    Q8Vecmat = 9,
 }
 
 /// Number of instrumented op classes.
-pub const N_OPS: usize = 8;
+pub const N_OPS: usize = 10;
+
+/// Number of top-level pipeline ops (excludes the nested quant sub-ops).
+pub const N_PIPELINE_OPS: usize = 8;
 
 impl Op {
-    /// All ops, in pipeline order.
+    /// All ops: the pipeline in order, then the nested quant sub-ops.
     pub const ALL: [Op; N_OPS] = [
+        Op::Embed,
+        Op::RmsNorm,
+        Op::Qkv,
+        Op::AttnScore,
+        Op::AttnMix,
+        Op::OProj,
+        Op::Mlp,
+        Op::LmHead,
+        Op::Quantize,
+        Op::Q8Vecmat,
+    ];
+
+    /// The eight top-level decode-pipeline ops, in order. These partition a
+    /// decode step's time; the quant sub-ops overlap them.
+    pub const PIPELINE: [Op; N_PIPELINE_OPS] = [
         Op::Embed,
         Op::RmsNorm,
         Op::Qkv,
@@ -61,6 +87,8 @@ impl Op {
             Op::OProj => "o_proj",
             Op::Mlp => "mlp",
             Op::LmHead => "lm_head",
+            Op::Quantize => "quantize",
+            Op::Q8Vecmat => "q8_vecmat",
         }
     }
 }
@@ -131,9 +159,18 @@ impl Profiler {
         self.calls[op as usize]
     }
 
-    /// Sum of all per-op accumulations.
+    /// Sum of all per-op accumulations. Note the quant sub-ops are nested
+    /// inside pipeline spans, so on the int8 path this double-counts their
+    /// time; use [`Profiler::pipeline_total_ns`] for wall-clock shares.
     pub fn grand_total_ns(&self) -> u64 {
         self.total_ns.iter().sum()
+    }
+
+    /// Sum over the eight top-level pipeline ops only — these partition the
+    /// decode step, so per-op fractions of this total are meaningful even
+    /// when the nested quant sub-ops are active.
+    pub fn pipeline_total_ns(&self) -> u64 {
+        Op::PIPELINE.iter().map(|&op| self.total_ns(op)).sum()
     }
 }
 

@@ -1,0 +1,298 @@
+//! Int8 weight-only quantization for the memory-bound decode path.
+//!
+//! Decode-time linears stream their whole weight matrix per token, so the
+//! win from int8 is bandwidth: 4× fewer weight bytes per step. The scheme
+//! is per-output-row absmax: each output row `j` of a `[k_in, n_out]`
+//! weight is stored as `i8` codes plus one f32 scale `s_j = absmax_j / 127`,
+//! in **transposed** (output-major) layout so the quantized matvec walks
+//! contiguous rows:
+//!
+//! ```text
+//! y[j] = s_x · s_j · Σ_k qx[k] · qw[j,k]      (i32 accumulation, exact)
+//! ```
+//!
+//! Activations are quantized per-call with the same absmax rule. The
+//! quantizer dispatches like every other kernel, but all tiers produce
+//! bit-identical codes and scale (absmax is exactly associative and the
+//! SIMD path reproduces `f32::round` exactly), so the i8 inputs — and
+//! therefore the exact i32 accumulation — are identical across dispatch
+//! tiers. Weight quantization happens once at policy-switch time
+//! (`quantize-once at model load`), never in the decode loop.
+//!
+//! Error model: per-row absmax quantization bounds the weight error by
+//! `|w - ŵ| ≤ s_j/2 = absmax_j/254` elementwise, so a logit over `k` inputs
+//! drifts by at most `Σ|x_k|·s_j/2` plus the activation-rounding term —
+//! measured end-to-end in the repo-root `int8_equivalence` test and
+//! reported in `EXPERIMENTS.md`.
+
+use crate::simd::{self, Backend};
+
+/// A quantized weight matrix in output-major layout: `rows = n_out` rows of
+/// `cols = k_in` i8 codes, one scale per output row.
+#[derive(Debug, Clone)]
+pub struct QuantMatrix {
+    /// Row-major `[rows × cols]` i8 codes (row r = output feature r).
+    pub qs: Vec<i8>,
+    /// Per-output-row dequantization scales (`absmax / 127`).
+    pub scales: Vec<f32>,
+    /// Output features (`n_out`).
+    pub rows: usize,
+    /// Input features (`k_in`).
+    pub cols: usize,
+}
+
+impl QuantMatrix {
+    /// Quantize an output-major `[rows, cols]` matrix row by row.
+    pub fn from_row_major(w: &[f32], rows: usize, cols: usize) -> Self {
+        assert_eq!(w.len(), rows * cols, "weight shape mismatch");
+        let mut qs = vec![0i8; rows * cols];
+        let mut scales = vec![0.0f32; rows];
+        for r in 0..rows {
+            scales[r] = quantize_row_i8(
+                &w[r * cols..(r + 1) * cols],
+                &mut qs[r * cols..(r + 1) * cols],
+            );
+        }
+        Self {
+            qs,
+            scales,
+            rows,
+            cols,
+        }
+    }
+
+    /// Quantize a `Linear`-layout `[k_in, n_out]` (input-major) weight,
+    /// transposing to output-major so each output row is contiguous.
+    pub fn from_kxn(w: &[f32], k: usize, n: usize) -> Self {
+        assert_eq!(w.len(), k * n, "weight shape mismatch");
+        let mut t = vec![0.0f32; k * n];
+        for i in 0..k {
+            for (j, tv) in t.iter_mut().skip(i).step_by(k).enumerate() {
+                *tv = w[i * n + j];
+            }
+        }
+        Self::from_row_major(&t, n, k)
+    }
+
+    /// The i8 codes for output row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[i8] {
+        &self.qs[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Reconstruct the output-major f32 matrix (tests/diagnostics).
+    pub fn dequantize(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.rows * self.cols];
+        for r in 0..self.rows {
+            let s = self.scales[r];
+            for (o, &q) in out[r * self.cols..(r + 1) * self.cols]
+                .iter_mut()
+                .zip(self.row(r))
+            {
+                *o = q as f32 * s;
+            }
+        }
+        out
+    }
+}
+
+/// Quantize one row with the absmax rule: returns the scale `absmax / 127`
+/// (0.0 for an all-zero row) and writes codes in `[-127, 127]`. Dispatches
+/// on the active backend, but every tier produces **identical codes and
+/// scale** (see [`simd::quantize_row_i8_with`]), which keeps the exact-i32
+/// contract across dispatch tiers.
+pub fn quantize_row_i8(x: &[f32], q: &mut [i8]) -> f32 {
+    simd::quantize_row_i8_with(simd::backend(), x, q)
+}
+
+/// `y = (x̂·Ŵ)` from pre-quantized activations: `qx` are the i8 codes of
+/// the input row and `sx` its scale. Dispatches on the active backend.
+pub fn vecmat_q8_into(y: &mut [f32], qx: &[i8], sx: f32, w: &QuantMatrix) {
+    vecmat_q8_into_with(simd::backend(), y, qx, sx, w);
+}
+
+/// Accumulating variant: `y += x̂·Ŵ` (residual-fold, mirroring
+/// [`crate::vecmat_acc_into`]).
+pub fn vecmat_q8_acc_into(y: &mut [f32], qx: &[i8], sx: f32, w: &QuantMatrix) {
+    vecmat_q8_acc_into_with(simd::backend(), y, qx, sx, w);
+}
+
+/// [`vecmat_q8_into`] through an explicit backend.
+pub fn vecmat_q8_into_with(bk: Backend, y: &mut [f32], qx: &[i8], sx: f32, w: &QuantMatrix) {
+    y.fill(0.0);
+    vecmat_q8_acc_into_with(bk, y, qx, sx, w);
+}
+
+/// [`vecmat_q8_acc_into`] through an explicit backend. The i32 accumulation
+/// is exact, and the final scale applies the identical f32 ops on every
+/// tier, so all backends agree bit-for-bit.
+pub fn vecmat_q8_acc_into_with(bk: Backend, y: &mut [f32], qx: &[i8], sx: f32, w: &QuantMatrix) {
+    assert_eq!(qx.len(), w.cols, "activation length must equal k_in");
+    assert_eq!(y.len(), w.rows, "output length must equal n_out");
+    simd::vecmat_q8_acc_kernel(bk, y, qx, sx, &w.qs, &w.scales, w.cols);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+    use crate::vecmat_into;
+
+    fn supported() -> Vec<Backend> {
+        Backend::ALL
+            .iter()
+            .copied()
+            .filter(|b| b.is_supported())
+            .collect()
+    }
+
+    const TAIL_DIMS: [usize; 22] = [
+        1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 31, 33, 63, 64, 65,
+    ];
+
+    /// Per-row absmax bound: every reconstructed weight is within half a
+    /// quantization step of the original.
+    #[test]
+    fn roundtrip_error_within_half_step() {
+        let mut rng = Rng::new(0x0_8_1);
+        let (rows, cols) = (13, 57);
+        let w: Vec<f32> = (0..rows * cols).map(|_| rng.uniform(-2.0, 2.0)).collect();
+        let qm = QuantMatrix::from_row_major(&w, rows, cols);
+        let deq = qm.dequantize();
+        for r in 0..rows {
+            let bound = qm.scales[r] * 0.5 + 1e-7;
+            for (a, b) in w[r * cols..(r + 1) * cols]
+                .iter()
+                .zip(&deq[r * cols..(r + 1) * cols])
+            {
+                assert!((a - b).abs() <= bound, "row {r}: |{a} - {b}| > {bound}");
+            }
+        }
+    }
+
+    /// The quantizer's cross-tier contract: identical codes AND scale on
+    /// every backend, including tail widths, negative-heavy rows, and values
+    /// that land exactly on the .5 rounding boundary.
+    #[test]
+    fn quantize_codes_identical_across_backends() {
+        let mut rng = Rng::new(0x0_8_5);
+        for &n in &TAIL_DIMS {
+            let mut x: Vec<f32> = (0..n).map(|_| rng.uniform(-3.0, 3.0)).collect();
+            if n >= 4 {
+                x[n / 2] = -x[0].abs(); // pin the absmax sign case
+                x[n - 1] = x[0].abs() * 0.5; // mid-range value
+            }
+            let mut q_ref = vec![0i8; n];
+            let s_ref = simd::quantize_row_i8_with(Backend::Scalar, &x, &mut q_ref);
+            for bk in supported() {
+                let mut q = vec![0i8; n];
+                let s = simd::quantize_row_i8_with(bk, &x, &mut q);
+                assert_eq!(s.to_bits(), s_ref.to_bits(), "{} scale n={n}", bk.name());
+                assert_eq!(q, q_ref, "{} codes n={n}", bk.name());
+            }
+        }
+        // Exact .5 boundaries: absmax 127 makes inv exactly 1.0, so integer
+        // +.5 inputs hit round-half-away-from-zero on every tier.
+        let x: Vec<f32> = vec![127.0, 2.5, -2.5, 0.5, -0.5, 126.5, -126.5, 0.0, 1.0, -127.0];
+        let mut q_ref = vec![0i8; x.len()];
+        let s_ref = simd::quantize_row_i8_with(Backend::Scalar, &x, &mut q_ref);
+        assert_eq!(q_ref[1], 3, "scalar must round half away from zero");
+        assert_eq!(q_ref[2], -3, "scalar must round half away from zero");
+        for bk in supported() {
+            let mut q = vec![0i8; x.len()];
+            let s = simd::quantize_row_i8_with(bk, &x, &mut q);
+            assert_eq!(s.to_bits(), s_ref.to_bits(), "{} scale", bk.name());
+            assert_eq!(q, q_ref, "{} boundary codes", bk.name());
+        }
+    }
+
+    #[test]
+    fn zero_row_quantizes_to_zero_scale_and_codes() {
+        let x = vec![0.0f32; 9];
+        let mut q = vec![1i8; 9];
+        let s = quantize_row_i8(&x, &mut q);
+        assert_eq!(s, 0.0);
+        assert!(q.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn from_kxn_transposes() {
+        // w[k=2, n=3] with distinct entries; output row j must hold column j.
+        let w = vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let qm = QuantMatrix::from_kxn(&w, 2, 3);
+        assert_eq!((qm.rows, qm.cols), (3, 2));
+        let deq = qm.dequantize();
+        for j in 0..3 {
+            for i in 0..2 {
+                assert!((deq[j * 2 + i] - w[i * 3 + j]).abs() <= qm.scales[j] * 0.5 + 1e-7);
+            }
+        }
+    }
+
+    /// Satellite: `vecmat_q8` must match the scalar reference **exactly**
+    /// (i32 accumulation) for every tail shape on every backend.
+    #[test]
+    fn vecmat_q8_simd_matches_scalar_exactly_on_tail_shapes() {
+        let mut rng = Rng::new(0x0_8_2);
+        for &k in &TAIL_DIMS {
+            for &n in &TAIL_DIMS {
+                let w: Vec<f32> = (0..k * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+                let x: Vec<f32> = (0..k).map(|_| rng.uniform(-1.0, 1.0)).collect();
+                let qm = QuantMatrix::from_kxn(&w, k, n);
+                let mut qx = vec![0i8; k];
+                let sx = quantize_row_i8(&x, &mut qx);
+                let mut y_ref = vec![0.0f32; n];
+                vecmat_q8_into_with(Backend::Scalar, &mut y_ref, &qx, sx, &qm);
+                for bk in supported() {
+                    let mut y = vec![0.0f32; n];
+                    vecmat_q8_into_with(bk, &mut y, &qx, sx, &qm);
+                    assert_eq!(y, y_ref, "{} diverged at k={k} n={n}", bk.name());
+                }
+            }
+        }
+    }
+
+    /// The quantized product tracks the f32 product within the absmax error
+    /// model's budget.
+    #[test]
+    fn vecmat_q8_tracks_f32_within_error_model() {
+        let mut rng = Rng::new(0x0_8_3);
+        let (k, n) = (64, 48);
+        let w: Vec<f32> = (0..k * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let x: Vec<f32> = (0..k).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let mut y_f32 = vec![0.0f32; n];
+        vecmat_into(&mut y_f32, &x, &w, k, n);
+        let qm = QuantMatrix::from_kxn(&w, k, n);
+        let mut qx = vec![0i8; k];
+        let sx = quantize_row_i8(&x, &mut qx);
+        let mut y_q8 = vec![0.0f32; n];
+        vecmat_q8_into(&mut y_q8, &qx, sx, &qm);
+        let sum_abs_x: f32 = x.iter().map(|v| v.abs()).sum();
+        for (j, (a, b)) in y_q8.iter().zip(&y_f32).enumerate() {
+            // Weight rounding (≤ s_j/2 per element against |x|) plus
+            // activation rounding (≤ sx/2 per element against |w|≤1·k... use
+            // the loose but rigorous bound of both terms).
+            let bound = qm.scales[j] * 0.5 * sum_abs_x + sx * 0.5 * k as f32 + 1e-5;
+            assert!((a - b).abs() <= bound, "col {j}: |{a} - {b}| > {bound}");
+        }
+    }
+
+    #[test]
+    fn acc_variant_folds_residual_exactly() {
+        let mut rng = Rng::new(0x0_8_4);
+        let (k, n) = (33, 17);
+        let w: Vec<f32> = (0..k * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let x: Vec<f32> = (0..k).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let qm = QuantMatrix::from_kxn(&w, k, n);
+        let mut qx = vec![0i8; k];
+        let sx = quantize_row_i8(&x, &mut qx);
+        let resid: Vec<f32> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let mut y = resid.clone();
+        vecmat_q8_acc_into(&mut y, &qx, sx, &qm);
+        let mut prod = vec![0.0f32; n];
+        vecmat_q8_into(&mut prod, &qx, sx, &qm);
+        for ((yv, r), p) in y.iter().zip(&resid).zip(&prod) {
+            assert_eq!(*yv, r + p, "acc must be fill-then-add exactly");
+        }
+    }
+}

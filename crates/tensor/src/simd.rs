@@ -1,0 +1,1827 @@
+//! Runtime-dispatched SIMD kernels (AVX2 / SSE2 / scalar) for the decode
+//! hot path.
+//!
+//! One [`Backend`] is selected process-wide the first time [`backend`] is
+//! queried: from the `AASD_KERNEL` env var (`scalar` | `sse2` | `avx2`)
+//! when set and supported on the host, otherwise the best path the CPU
+//! reports. Benches and tests can switch at runtime with [`set_backend`]
+//! to race every path inside one process.
+//!
+//! Determinism contract: the f32 `vecmat` kernels vectorize across the
+//! *output* dimension and keep the scalar kernel's per-element accumulation
+//! order over `k` (multiply-then-add, never FMA), so every backend produces
+//! bit-identical vecmat results — switching backends cannot move a logit
+//! relative to the scalar reference, and the t = 1 / t > 1 Linear paths
+//! keep agreeing bit-for-bit. Reductions ([`dot_with`], [`sum_squares_with`])
+//! and transcendentals ([`softmax_row_with`], [`silu_mul_with`], which use a
+//! lane-parallel polynomial `exp`) are only approximately equal *across*
+//! backends — but every call in one process uses the same backend, which is
+//! the property spec≡AR losslessness rests on.
+//!
+//! The int8 kernel ([`dot_i8_with`]) accumulates in `i32`, which is exact
+//! and associative, so scalar / SSE2 / AVX2 agree **exactly**.
+//!
+//! The SSE2 tier accelerates the bandwidth-bound kernels (`vecmat`, `dot`,
+//! `axpy`, `sum_squares`, `dot_i8`); its transcendental kernels (`softmax`,
+//! `silu_mul`) and `argmax` route to the scalar implementations.
+
+#[cfg(target_arch = "x86_64")]
+use std::arch::x86_64::*;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// A kernel implementation tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Portable scalar reference (always supported).
+    Scalar,
+    /// 4-lane `__m128` kernels (x86_64 baseline).
+    Sse2,
+    /// 8-lane `__m256` kernels (runtime-detected).
+    Avx2,
+}
+
+impl Backend {
+    /// Every tier, slowest first.
+    pub const ALL: [Backend; 3] = [Backend::Scalar, Backend::Sse2, Backend::Avx2];
+
+    /// Stable lowercase name (also the accepted `AASD_KERNEL` values).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Sse2 => "sse2",
+            Backend::Avx2 => "avx2",
+        }
+    }
+
+    /// Parse a backend name (case-insensitive, surrounding space ignored).
+    pub fn from_name(name: &str) -> Option<Backend> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(Backend::Scalar),
+            "sse2" => Some(Backend::Sse2),
+            "avx2" => Some(Backend::Avx2),
+            _ => None,
+        }
+    }
+
+    /// Whether the host CPU can run this backend.
+    pub fn is_supported(self) -> bool {
+        match self {
+            Backend::Scalar => true,
+            Backend::Sse2 => cfg!(target_arch = "x86_64"),
+            Backend::Avx2 => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    std::arch::is_x86_feature_detected!("avx2")
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    false
+                }
+            }
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            Backend::Scalar => 1,
+            Backend::Sse2 => 2,
+            Backend::Avx2 => 3,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Backend> {
+        match code {
+            1 => Some(Backend::Scalar),
+            2 => Some(Backend::Sse2),
+            3 => Some(Backend::Avx2),
+            _ => None,
+        }
+    }
+}
+
+/// 0 = not yet selected; otherwise `Backend::code`.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+/// The fastest backend the host supports.
+pub fn best_supported() -> Backend {
+    if Backend::Avx2.is_supported() {
+        Backend::Avx2
+    } else if Backend::Sse2.is_supported() {
+        Backend::Sse2
+    } else {
+        Backend::Scalar
+    }
+}
+
+fn initial_backend() -> Backend {
+    match std::env::var("AASD_KERNEL") {
+        Ok(raw) => match Backend::from_name(&raw) {
+            Some(b) if b.is_supported() => b,
+            Some(b) => {
+                eprintln!(
+                    "AASD_KERNEL={}: backend not supported on this host; using {}",
+                    b.name(),
+                    best_supported().name()
+                );
+                best_supported()
+            }
+            None => {
+                eprintln!(
+                    "AASD_KERNEL={raw}: unknown backend (expected scalar|sse2|avx2); using {}",
+                    best_supported().name()
+                );
+                best_supported()
+            }
+        },
+        Err(_) => best_supported(),
+    }
+}
+
+/// The process-wide active backend (selected once, lazily; see module docs).
+#[inline]
+pub fn backend() -> Backend {
+    match Backend::from_code(ACTIVE.load(Ordering::Relaxed)) {
+        Some(b) => b,
+        None => {
+            let b = initial_backend();
+            ACTIVE.store(b.code(), Ordering::Relaxed);
+            b
+        }
+    }
+}
+
+/// Override the active backend so benches can race paths in one process.
+/// Errors (leaving the selection untouched) if the host lacks support.
+pub fn set_backend(b: Backend) -> Result<(), String> {
+    if !b.is_supported() {
+        return Err(format!(
+            "backend {} is not supported on this host",
+            b.name()
+        ));
+    }
+    ACTIVE.store(b.code(), Ordering::Relaxed);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Shared semantic helpers (single source of truth for every dispatch tier).
+// ---------------------------------------------------------------------------
+
+/// Fully-masked softmax fallback shared by the scalar and SIMD variants: a
+/// row whose maximum is `-inf` becomes the uniform distribution instead of
+/// `0/0 = NaN` everywhere. Returns `true` when it handled the row.
+#[inline]
+fn softmax_uniform_fallback(row: &mut [f32], max: f32) -> bool {
+    if max == f32::NEG_INFINITY {
+        let uniform = 1.0 / row.len() as f32;
+        row.fill(uniform);
+        return true;
+    }
+    false
+}
+
+/// NaN guard shared by the scalar and SIMD `argmax` variants. NaN compares
+/// false against everything, so a comparison scan silently skips it — debug
+/// builds reject the row outright instead.
+#[inline]
+fn argmax_debug_assert_no_nan(row: &[f32]) {
+    debug_assert!(
+        row.iter().all(|v| !v.is_nan()),
+        "argmax over a row containing NaN"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// f32 kernels: vecmat / dot / axpy / sum_squares.
+// ---------------------------------------------------------------------------
+
+/// `y = x·W` through an explicit backend. See [`crate::vecmat_into`].
+pub fn vecmat_into_with(bk: Backend, y: &mut [f32], x: &[f32], w: &[f32], k: usize, n: usize) {
+    y.fill(0.0);
+    vecmat_acc_into_with(bk, y, x, w, k, n);
+}
+
+/// `y += x·W` through an explicit backend. Bit-identical across backends
+/// (see module docs).
+pub fn vecmat_acc_into_with(bk: Backend, y: &mut [f32], x: &[f32], w: &[f32], k: usize, n: usize) {
+    assert_eq!(x.len(), k, "x must have k entries");
+    assert_eq!(w.len(), k * n, "W must be k×n");
+    assert_eq!(y.len(), n, "y must have n entries");
+    match bk {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => unsafe { vecmat_acc_sse2(y, x, w, k, n) },
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { vecmat_acc_avx2(y, x, w, k, n) },
+        _ => vecmat_acc_scalar(y, x, w, k, n),
+    }
+}
+
+/// Dot product through an explicit backend (lane-parallel reduction order).
+#[inline]
+pub fn dot_with(bk: Backend, a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    match bk {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => unsafe { dot_sse2(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { dot_avx2(a, b) },
+        _ => dot_scalar(a, b),
+    }
+}
+
+/// `y += s·x` through an explicit backend (per-element, bit-identical).
+#[inline]
+pub fn axpy_with(bk: Backend, y: &mut [f32], s: f32, x: &[f32]) {
+    debug_assert_eq!(y.len(), x.len());
+    match bk {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => unsafe { axpy_sse2(y, s, x) },
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { axpy_avx2(y, s, x) },
+        _ => axpy_scalar(y, s, x),
+    }
+}
+
+/// `Σ xᵢ²` through an explicit backend (lane-parallel reduction order).
+#[inline]
+pub fn sum_squares_with(bk: Backend, x: &[f32]) -> f32 {
+    match bk {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => unsafe { sum_squares_sse2(x) },
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { sum_squares_avx2(x) },
+        _ => sum_squares_scalar(x),
+    }
+}
+
+fn vecmat_acc_scalar(y: &mut [f32], x: &[f32], w: &[f32], k: usize, n: usize) {
+    let mut kk = 0;
+    while kk + 4 <= k {
+        let (a0, a1, a2, a3) = (x[kk], x[kk + 1], x[kk + 2], x[kk + 3]);
+        let (w0, rest) = w[kk * n..].split_at(n);
+        let (w1, rest) = rest.split_at(n);
+        let (w2, rest) = rest.split_at(n);
+        let w3 = &rest[..n];
+        for ((((yv, v0), v1), v2), v3) in y
+            .iter_mut()
+            .zip(w0.iter())
+            .zip(w1.iter())
+            .zip(w2.iter())
+            .zip(w3.iter())
+        {
+            // Left-associated adds: the same rounding sequence as four
+            // separate axpy passes (what the blocked kernel performs).
+            *yv = *yv + a0 * *v0 + a1 * *v1 + a2 * *v2 + a3 * *v3;
+        }
+        kk += 4;
+    }
+    while kk < k {
+        let a = x[kk];
+        let w_row = &w[kk * n..kk * n + n];
+        for (yv, wv) in y.iter_mut().zip(w_row.iter()) {
+            *yv += a * *wv;
+        }
+        kk += 1;
+    }
+}
+
+#[inline]
+fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (av, bv) in a.iter().zip(b.iter()) {
+        acc += *av * *bv;
+    }
+    acc
+}
+
+#[inline]
+fn axpy_scalar(y: &mut [f32], s: f32, x: &[f32]) {
+    for (yv, xv) in y.iter_mut().zip(x.iter()) {
+        *yv += s * *xv;
+    }
+}
+
+#[inline]
+fn sum_squares_scalar(x: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for v in x {
+        acc += *v * *v;
+    }
+    acc
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn vecmat_acc_avx2(y: &mut [f32], x: &[f32], w: &[f32], k: usize, n: usize) {
+    let yp = y.as_mut_ptr();
+    let mut kk = 0usize;
+    while kk + 4 <= k {
+        let (a0, a1, a2, a3) = (x[kk], x[kk + 1], x[kk + 2], x[kk + 3]);
+        let w0 = w[kk * n..].as_ptr();
+        let w1 = w0.add(n);
+        let w2 = w1.add(n);
+        let w3 = w2.add(n);
+        let va0 = _mm256_set1_ps(a0);
+        let va1 = _mm256_set1_ps(a1);
+        let va2 = _mm256_set1_ps(a2);
+        let va3 = _mm256_set1_ps(a3);
+        let mut j = 0usize;
+        while j + 8 <= n {
+            // Per-element op order matches the scalar kernel: mul-then-add
+            // per k, left-associated. No FMA — it would change rounding.
+            let mut acc = _mm256_loadu_ps(yp.add(j));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(va0, _mm256_loadu_ps(w0.add(j))));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(va1, _mm256_loadu_ps(w1.add(j))));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(va2, _mm256_loadu_ps(w2.add(j))));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(va3, _mm256_loadu_ps(w3.add(j))));
+            _mm256_storeu_ps(yp.add(j), acc);
+            j += 8;
+        }
+        while j < n {
+            *yp.add(j) =
+                *yp.add(j) + a0 * *w0.add(j) + a1 * *w1.add(j) + a2 * *w2.add(j) + a3 * *w3.add(j);
+            j += 1;
+        }
+        kk += 4;
+    }
+    while kk < k {
+        let a = x[kk];
+        let va = _mm256_set1_ps(a);
+        let wr = w[kk * n..].as_ptr();
+        let mut j = 0usize;
+        while j + 8 <= n {
+            let acc = _mm256_add_ps(
+                _mm256_loadu_ps(yp.add(j)),
+                _mm256_mul_ps(va, _mm256_loadu_ps(wr.add(j))),
+            );
+            _mm256_storeu_ps(yp.add(j), acc);
+            j += 8;
+        }
+        while j < n {
+            *yp.add(j) += a * *wr.add(j);
+            j += 1;
+        }
+        kk += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn vecmat_acc_sse2(y: &mut [f32], x: &[f32], w: &[f32], k: usize, n: usize) {
+    let yp = y.as_mut_ptr();
+    let mut kk = 0usize;
+    while kk + 4 <= k {
+        let (a0, a1, a2, a3) = (x[kk], x[kk + 1], x[kk + 2], x[kk + 3]);
+        let w0 = w[kk * n..].as_ptr();
+        let w1 = w0.add(n);
+        let w2 = w1.add(n);
+        let w3 = w2.add(n);
+        let va0 = _mm_set1_ps(a0);
+        let va1 = _mm_set1_ps(a1);
+        let va2 = _mm_set1_ps(a2);
+        let va3 = _mm_set1_ps(a3);
+        let mut j = 0usize;
+        while j + 4 <= n {
+            let mut acc = _mm_loadu_ps(yp.add(j));
+            acc = _mm_add_ps(acc, _mm_mul_ps(va0, _mm_loadu_ps(w0.add(j))));
+            acc = _mm_add_ps(acc, _mm_mul_ps(va1, _mm_loadu_ps(w1.add(j))));
+            acc = _mm_add_ps(acc, _mm_mul_ps(va2, _mm_loadu_ps(w2.add(j))));
+            acc = _mm_add_ps(acc, _mm_mul_ps(va3, _mm_loadu_ps(w3.add(j))));
+            _mm_storeu_ps(yp.add(j), acc);
+            j += 4;
+        }
+        while j < n {
+            *yp.add(j) =
+                *yp.add(j) + a0 * *w0.add(j) + a1 * *w1.add(j) + a2 * *w2.add(j) + a3 * *w3.add(j);
+            j += 1;
+        }
+        kk += 4;
+    }
+    while kk < k {
+        let a = x[kk];
+        let va = _mm_set1_ps(a);
+        let wr = w[kk * n..].as_ptr();
+        let mut j = 0usize;
+        while j + 4 <= n {
+            let acc = _mm_add_ps(
+                _mm_loadu_ps(yp.add(j)),
+                _mm_mul_ps(va, _mm_loadu_ps(wr.add(j))),
+            );
+            _mm_storeu_ps(yp.add(j), acc);
+            j += 4;
+        }
+        while j < n {
+            *yp.add(j) += a * *wr.add(j);
+            j += 1;
+        }
+        kk += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn hsum256_ps(v: __m256) -> f32 {
+    let lo = _mm256_castps256_ps128(v);
+    let hi = _mm256_extractf128_ps(v, 1);
+    let s = _mm_add_ps(lo, hi);
+    let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+    _mm_cvtss_f32(s)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn hsum128_ps(v: __m128) -> f32 {
+    let s = _mm_add_ps(v, _mm_movehl_ps(v, v));
+    let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+    _mm_cvtss_f32(s)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len();
+    let (ap, bp) = (a.as_ptr(), b.as_ptr());
+    let mut acc = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        acc = _mm256_add_ps(
+            acc,
+            _mm256_mul_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i))),
+        );
+        i += 8;
+    }
+    let mut s = hsum256_ps(acc);
+    while i < n {
+        s += a[i] * b[i];
+        i += 1;
+    }
+    s
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn dot_sse2(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len();
+    let (ap, bp) = (a.as_ptr(), b.as_ptr());
+    let mut acc = _mm_setzero_ps();
+    let mut i = 0usize;
+    while i + 4 <= n {
+        acc = _mm_add_ps(
+            acc,
+            _mm_mul_ps(_mm_loadu_ps(ap.add(i)), _mm_loadu_ps(bp.add(i))),
+        );
+        i += 4;
+    }
+    let mut s = hsum128_ps(acc);
+    while i < n {
+        s += a[i] * b[i];
+        i += 1;
+    }
+    s
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn axpy_avx2(y: &mut [f32], s: f32, x: &[f32]) {
+    let n = y.len();
+    let yp = y.as_mut_ptr();
+    let xp = x.as_ptr();
+    let vs = _mm256_set1_ps(s);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let acc = _mm256_add_ps(
+            _mm256_loadu_ps(yp.add(i)),
+            _mm256_mul_ps(vs, _mm256_loadu_ps(xp.add(i))),
+        );
+        _mm256_storeu_ps(yp.add(i), acc);
+        i += 8;
+    }
+    while i < n {
+        *yp.add(i) += s * *xp.add(i);
+        i += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn axpy_sse2(y: &mut [f32], s: f32, x: &[f32]) {
+    let n = y.len();
+    let yp = y.as_mut_ptr();
+    let xp = x.as_ptr();
+    let vs = _mm_set1_ps(s);
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let acc = _mm_add_ps(
+            _mm_loadu_ps(yp.add(i)),
+            _mm_mul_ps(vs, _mm_loadu_ps(xp.add(i))),
+        );
+        _mm_storeu_ps(yp.add(i), acc);
+        i += 4;
+    }
+    while i < n {
+        *yp.add(i) += s * *xp.add(i);
+        i += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn sum_squares_avx2(x: &[f32]) -> f32 {
+    let n = x.len();
+    let xp = x.as_ptr();
+    let mut acc = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let v = _mm256_loadu_ps(xp.add(i));
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(v, v));
+        i += 8;
+    }
+    let mut s = hsum256_ps(acc);
+    while i < n {
+        s += x[i] * x[i];
+        i += 1;
+    }
+    s
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn sum_squares_sse2(x: &[f32]) -> f32 {
+    let n = x.len();
+    let xp = x.as_ptr();
+    let mut acc = _mm_setzero_ps();
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let v = _mm_loadu_ps(xp.add(i));
+        acc = _mm_add_ps(acc, _mm_mul_ps(v, v));
+        i += 4;
+    }
+    let mut s = hsum128_ps(acc);
+    while i < n {
+        s += x[i] * x[i];
+        i += 1;
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Batched attention kernels over the strided KV cache.
+//
+// The decode hot loop attends one query head over every cached position. A
+// per-position `dot_with`/`axpy_with` call cannot inline across the
+// `target_feature` boundary, so at ctx 512 the call overhead dominates the
+// arithmetic. These kernels take the whole position loop inside one
+// dispatch: `attn_scores_with` computes every `q·k_j` dot against rows of a
+// strided slab, `attn_mix_with` accumulates `Σ w_j·v_j` with the output
+// held in registers (one store pass instead of one read-modify-write pass
+// per position). Per element they perform the **identical arithmetic
+// sequence** as the per-position kernels they replace — same lane layout,
+// same mul-then-add (no FMA), same horizontal-sum, same j-order — so each
+// tier's results are bit-identical to a loop of `dot_with` / `axpy_with`
+// calls on that tier (asserted by `attn_kernels_match_per_position_loops`).
+// ---------------------------------------------------------------------------
+
+/// `scores[j] = (q · keys[j·stride .. j·stride+d]) * scale` for every `j`,
+/// where `d = q.len()`. `keys` is a row-major slab whose rows are `stride`
+/// floats apart (the KV cache with the head offset already applied).
+pub fn attn_scores_with(
+    bk: Backend,
+    scores: &mut [f32],
+    q: &[f32],
+    keys: &[f32],
+    stride: usize,
+    scale: f32,
+) {
+    let d = q.len();
+    debug_assert!(d <= stride, "head rows must fit inside the cache stride");
+    if let Some(last) = scores.len().checked_sub(1) {
+        assert!(
+            keys.len() >= last * stride + d,
+            "keys slab too short for {} strided rows",
+            scores.len()
+        );
+    }
+    match bk {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => unsafe { attn_scores_sse2(scores, q, keys, stride, scale) },
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { attn_scores_avx2(scores, q, keys, stride, scale) },
+        _ => {
+            for (j, s) in scores.iter_mut().enumerate() {
+                *s = dot_scalar(q, &keys[j * stride..j * stride + d]) * scale;
+            }
+        }
+    }
+}
+
+/// `out[e] += Σ_j weights[j] · values[j·stride + e]` with the j-sum taken in
+/// index order (the same order as a sequence of `axpy_with` calls).
+pub fn attn_mix_with(bk: Backend, out: &mut [f32], weights: &[f32], values: &[f32], stride: usize) {
+    let d = out.len();
+    debug_assert!(d <= stride, "head rows must fit inside the cache stride");
+    if let Some(last) = weights.len().checked_sub(1) {
+        assert!(
+            values.len() >= last * stride + d,
+            "values slab too short for {} strided rows",
+            weights.len()
+        );
+    }
+    match bk {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => unsafe { attn_mix_sse2(out, weights, values, stride) },
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { attn_mix_avx2(out, weights, values, stride) },
+        _ => {
+            for (j, &w) in weights.iter().enumerate() {
+                axpy_scalar(out, w, &values[j * stride..j * stride + d]);
+            }
+        }
+    }
+}
+
+/// Four interleaved `dot_avx2` chains (one per position) so the query block
+/// is loaded once per lane chunk and the out-of-order core sees four
+/// independent accumulators. Each chain's arithmetic is exactly
+/// `dot_avx2(q, row) * scale`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn attn_scores_avx2(scores: &mut [f32], q: &[f32], keys: &[f32], stride: usize, scale: f32) {
+    let d = q.len();
+    let qp = q.as_ptr();
+    let kp = keys.as_ptr();
+    let l = scores.len();
+    let mut j = 0usize;
+    while j + 8 <= l {
+        let k0 = kp.add(j * stride);
+        let k1 = kp.add((j + 1) * stride);
+        let k2 = kp.add((j + 2) * stride);
+        let k3 = kp.add((j + 3) * stride);
+        let k4 = kp.add((j + 4) * stride);
+        let k5 = kp.add((j + 5) * stride);
+        let k6 = kp.add((j + 6) * stride);
+        let k7 = kp.add((j + 7) * stride);
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        let mut acc4 = _mm256_setzero_ps();
+        let mut acc5 = _mm256_setzero_ps();
+        let mut acc6 = _mm256_setzero_ps();
+        let mut acc7 = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 8 <= d {
+            let vq = _mm256_loadu_ps(qp.add(i));
+            acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(vq, _mm256_loadu_ps(k0.add(i))));
+            acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(vq, _mm256_loadu_ps(k1.add(i))));
+            acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(vq, _mm256_loadu_ps(k2.add(i))));
+            acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(vq, _mm256_loadu_ps(k3.add(i))));
+            acc4 = _mm256_add_ps(acc4, _mm256_mul_ps(vq, _mm256_loadu_ps(k4.add(i))));
+            acc5 = _mm256_add_ps(acc5, _mm256_mul_ps(vq, _mm256_loadu_ps(k5.add(i))));
+            acc6 = _mm256_add_ps(acc6, _mm256_mul_ps(vq, _mm256_loadu_ps(k6.add(i))));
+            acc7 = _mm256_add_ps(acc7, _mm256_mul_ps(vq, _mm256_loadu_ps(k7.add(i))));
+            i += 8;
+        }
+        let mut s = [
+            hsum256_ps(acc0),
+            hsum256_ps(acc1),
+            hsum256_ps(acc2),
+            hsum256_ps(acc3),
+            hsum256_ps(acc4),
+            hsum256_ps(acc5),
+            hsum256_ps(acc6),
+            hsum256_ps(acc7),
+        ];
+        while i < d {
+            let qv = *qp.add(i);
+            s[0] += qv * *k0.add(i);
+            s[1] += qv * *k1.add(i);
+            s[2] += qv * *k2.add(i);
+            s[3] += qv * *k3.add(i);
+            s[4] += qv * *k4.add(i);
+            s[5] += qv * *k5.add(i);
+            s[6] += qv * *k6.add(i);
+            s[7] += qv * *k7.add(i);
+            i += 1;
+        }
+        for (off, sv) in s.into_iter().enumerate() {
+            scores[j + off] = sv * scale;
+        }
+        j += 8;
+    }
+    while j < l {
+        scores[j] = dot_avx2(q, std::slice::from_raw_parts(kp.add(j * stride), d)) * scale;
+        j += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn attn_scores_sse2(scores: &mut [f32], q: &[f32], keys: &[f32], stride: usize, scale: f32) {
+    let d = q.len();
+    let qp = q.as_ptr();
+    let kp = keys.as_ptr();
+    let l = scores.len();
+    let mut j = 0usize;
+    while j + 4 <= l {
+        let k0 = kp.add(j * stride);
+        let k1 = kp.add((j + 1) * stride);
+        let k2 = kp.add((j + 2) * stride);
+        let k3 = kp.add((j + 3) * stride);
+        let mut acc0 = _mm_setzero_ps();
+        let mut acc1 = _mm_setzero_ps();
+        let mut acc2 = _mm_setzero_ps();
+        let mut acc3 = _mm_setzero_ps();
+        let mut i = 0usize;
+        while i + 4 <= d {
+            let vq = _mm_loadu_ps(qp.add(i));
+            acc0 = _mm_add_ps(acc0, _mm_mul_ps(vq, _mm_loadu_ps(k0.add(i))));
+            acc1 = _mm_add_ps(acc1, _mm_mul_ps(vq, _mm_loadu_ps(k1.add(i))));
+            acc2 = _mm_add_ps(acc2, _mm_mul_ps(vq, _mm_loadu_ps(k2.add(i))));
+            acc3 = _mm_add_ps(acc3, _mm_mul_ps(vq, _mm_loadu_ps(k3.add(i))));
+            i += 4;
+        }
+        let mut s0 = hsum128_ps(acc0);
+        let mut s1 = hsum128_ps(acc1);
+        let mut s2 = hsum128_ps(acc2);
+        let mut s3 = hsum128_ps(acc3);
+        while i < d {
+            let qv = *qp.add(i);
+            s0 += qv * *k0.add(i);
+            s1 += qv * *k1.add(i);
+            s2 += qv * *k2.add(i);
+            s3 += qv * *k3.add(i);
+            i += 1;
+        }
+        scores[j] = s0 * scale;
+        scores[j + 1] = s1 * scale;
+        scores[j + 2] = s2 * scale;
+        scores[j + 3] = s3 * scale;
+        j += 4;
+    }
+    while j < l {
+        scores[j] = dot_sse2(q, std::slice::from_raw_parts(kp.add(j * stride), d)) * scale;
+        j += 1;
+    }
+}
+
+/// Output held in up to eight ymm accumulators across the whole position
+/// loop: one load and one store of `out` per 64-lane chunk instead of one
+/// read-modify-write sweep per position. A single f32 mul-then-add has the
+/// same rounding in a SIMD lane as in scalar code, so any chunking of the
+/// element dimension leaves every element's j-ordered sum bit-identical.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn attn_mix_avx2(out: &mut [f32], weights: &[f32], values: &[f32], stride: usize) {
+    let d = out.len();
+    let op = out.as_mut_ptr();
+    let vp = values.as_ptr();
+    let mut e = 0usize;
+    while e + 64 <= d {
+        let mut a0 = _mm256_loadu_ps(op.add(e));
+        let mut a1 = _mm256_loadu_ps(op.add(e + 8));
+        let mut a2 = _mm256_loadu_ps(op.add(e + 16));
+        let mut a3 = _mm256_loadu_ps(op.add(e + 24));
+        let mut a4 = _mm256_loadu_ps(op.add(e + 32));
+        let mut a5 = _mm256_loadu_ps(op.add(e + 40));
+        let mut a6 = _mm256_loadu_ps(op.add(e + 48));
+        let mut a7 = _mm256_loadu_ps(op.add(e + 56));
+        for (j, &w) in weights.iter().enumerate() {
+            let vw = _mm256_set1_ps(w);
+            let row = vp.add(j * stride + e);
+            a0 = _mm256_add_ps(a0, _mm256_mul_ps(vw, _mm256_loadu_ps(row)));
+            a1 = _mm256_add_ps(a1, _mm256_mul_ps(vw, _mm256_loadu_ps(row.add(8))));
+            a2 = _mm256_add_ps(a2, _mm256_mul_ps(vw, _mm256_loadu_ps(row.add(16))));
+            a3 = _mm256_add_ps(a3, _mm256_mul_ps(vw, _mm256_loadu_ps(row.add(24))));
+            a4 = _mm256_add_ps(a4, _mm256_mul_ps(vw, _mm256_loadu_ps(row.add(32))));
+            a5 = _mm256_add_ps(a5, _mm256_mul_ps(vw, _mm256_loadu_ps(row.add(40))));
+            a6 = _mm256_add_ps(a6, _mm256_mul_ps(vw, _mm256_loadu_ps(row.add(48))));
+            a7 = _mm256_add_ps(a7, _mm256_mul_ps(vw, _mm256_loadu_ps(row.add(56))));
+        }
+        _mm256_storeu_ps(op.add(e), a0);
+        _mm256_storeu_ps(op.add(e + 8), a1);
+        _mm256_storeu_ps(op.add(e + 16), a2);
+        _mm256_storeu_ps(op.add(e + 24), a3);
+        _mm256_storeu_ps(op.add(e + 32), a4);
+        _mm256_storeu_ps(op.add(e + 40), a5);
+        _mm256_storeu_ps(op.add(e + 48), a6);
+        _mm256_storeu_ps(op.add(e + 56), a7);
+        e += 64;
+    }
+    while e + 32 <= d {
+        let mut a0 = _mm256_loadu_ps(op.add(e));
+        let mut a1 = _mm256_loadu_ps(op.add(e + 8));
+        let mut a2 = _mm256_loadu_ps(op.add(e + 16));
+        let mut a3 = _mm256_loadu_ps(op.add(e + 24));
+        for (j, &w) in weights.iter().enumerate() {
+            let vw = _mm256_set1_ps(w);
+            let row = vp.add(j * stride + e);
+            a0 = _mm256_add_ps(a0, _mm256_mul_ps(vw, _mm256_loadu_ps(row)));
+            a1 = _mm256_add_ps(a1, _mm256_mul_ps(vw, _mm256_loadu_ps(row.add(8))));
+            a2 = _mm256_add_ps(a2, _mm256_mul_ps(vw, _mm256_loadu_ps(row.add(16))));
+            a3 = _mm256_add_ps(a3, _mm256_mul_ps(vw, _mm256_loadu_ps(row.add(24))));
+        }
+        _mm256_storeu_ps(op.add(e), a0);
+        _mm256_storeu_ps(op.add(e + 8), a1);
+        _mm256_storeu_ps(op.add(e + 16), a2);
+        _mm256_storeu_ps(op.add(e + 24), a3);
+        e += 32;
+    }
+    while e + 8 <= d {
+        let mut acc = _mm256_loadu_ps(op.add(e));
+        for (j, &w) in weights.iter().enumerate() {
+            let vw = _mm256_set1_ps(w);
+            acc = _mm256_add_ps(
+                acc,
+                _mm256_mul_ps(vw, _mm256_loadu_ps(vp.add(j * stride + e))),
+            );
+        }
+        _mm256_storeu_ps(op.add(e), acc);
+        e += 8;
+    }
+    while e < d {
+        let mut acc = *op.add(e);
+        for (j, &w) in weights.iter().enumerate() {
+            acc += w * *vp.add(j * stride + e);
+        }
+        *op.add(e) = acc;
+        e += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn attn_mix_sse2(out: &mut [f32], weights: &[f32], values: &[f32], stride: usize) {
+    let d = out.len();
+    let op = out.as_mut_ptr();
+    let vp = values.as_ptr();
+    let mut e = 0usize;
+    while e + 16 <= d {
+        let mut a0 = _mm_loadu_ps(op.add(e));
+        let mut a1 = _mm_loadu_ps(op.add(e + 4));
+        let mut a2 = _mm_loadu_ps(op.add(e + 8));
+        let mut a3 = _mm_loadu_ps(op.add(e + 12));
+        for (j, &w) in weights.iter().enumerate() {
+            let vw = _mm_set1_ps(w);
+            let row = vp.add(j * stride + e);
+            a0 = _mm_add_ps(a0, _mm_mul_ps(vw, _mm_loadu_ps(row)));
+            a1 = _mm_add_ps(a1, _mm_mul_ps(vw, _mm_loadu_ps(row.add(4))));
+            a2 = _mm_add_ps(a2, _mm_mul_ps(vw, _mm_loadu_ps(row.add(8))));
+            a3 = _mm_add_ps(a3, _mm_mul_ps(vw, _mm_loadu_ps(row.add(12))));
+        }
+        _mm_storeu_ps(op.add(e), a0);
+        _mm_storeu_ps(op.add(e + 4), a1);
+        _mm_storeu_ps(op.add(e + 8), a2);
+        _mm_storeu_ps(op.add(e + 12), a3);
+        e += 16;
+    }
+    while e + 4 <= d {
+        let mut acc = _mm_loadu_ps(op.add(e));
+        for (j, &w) in weights.iter().enumerate() {
+            let vw = _mm_set1_ps(w);
+            acc = _mm_add_ps(acc, _mm_mul_ps(vw, _mm_loadu_ps(vp.add(j * stride + e))));
+        }
+        _mm_storeu_ps(op.add(e), acc);
+        e += 4;
+    }
+    while e < d {
+        let mut acc = *op.add(e);
+        for (j, &w) in weights.iter().enumerate() {
+            acc += w * *vp.add(j * stride + e);
+        }
+        *op.add(e) = acc;
+        e += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transcendental / reduction kernels: softmax, silu⊙, rms_norm, argmax.
+// ---------------------------------------------------------------------------
+
+/// Lane-parallel `e^x` (Cephes-style range reduction + degree-5 polynomial,
+/// relative error ≲ 2e-7). Inputs are clamped to the finite-result range;
+/// an exact-zero input yields exactly 1.0.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn exp256_ps(x: __m256) -> __m256 {
+    let exp_hi = _mm256_set1_ps(88.37626);
+    let exp_lo = _mm256_set1_ps(-88.37626);
+    let log2ef = _mm256_set1_ps(std::f32::consts::LOG2_E);
+    let c1 = _mm256_set1_ps(0.693_359_4);
+    let c2 = _mm256_set1_ps(-2.121_944_4e-4);
+    let p0 = _mm256_set1_ps(1.987_569_1e-4);
+    let p1 = _mm256_set1_ps(1.398_199_9e-3);
+    let p2 = _mm256_set1_ps(8.333_452e-3);
+    let p3 = _mm256_set1_ps(4.166_579_6e-2);
+    let p4 = _mm256_set1_ps(1.666_666_5e-1);
+    let p5 = _mm256_set1_ps(5e-1);
+    let one = _mm256_set1_ps(1.0);
+
+    let x = _mm256_min_ps(_mm256_max_ps(x, exp_lo), exp_hi);
+    // n = round(x·log2e); reduced x ∈ [-0.347, 0.347].
+    let fx = _mm256_floor_ps(_mm256_add_ps(_mm256_mul_ps(x, log2ef), _mm256_set1_ps(0.5)));
+    let x = _mm256_sub_ps(
+        _mm256_sub_ps(x, _mm256_mul_ps(fx, c1)),
+        _mm256_mul_ps(fx, c2),
+    );
+    let z = _mm256_mul_ps(x, x);
+    let mut y = p0;
+    y = _mm256_add_ps(_mm256_mul_ps(y, x), p1);
+    y = _mm256_add_ps(_mm256_mul_ps(y, x), p2);
+    y = _mm256_add_ps(_mm256_mul_ps(y, x), p3);
+    y = _mm256_add_ps(_mm256_mul_ps(y, x), p4);
+    y = _mm256_add_ps(_mm256_mul_ps(y, x), p5);
+    y = _mm256_add_ps(_mm256_add_ps(_mm256_mul_ps(y, z), x), one);
+    // Scale by 2^n via the exponent bits.
+    let pow2n = _mm256_castsi256_ps(_mm256_slli_epi32(
+        _mm256_add_epi32(_mm256_cvttps_epi32(fx), _mm256_set1_epi32(0x7f)),
+        23,
+    ));
+    _mm256_mul_ps(y, pow2n)
+}
+
+/// In-place softmax through an explicit backend. Every tier shares
+/// [`softmax_uniform_fallback`] for fully-masked rows.
+pub fn softmax_row_with(bk: Backend, row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    match bk {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { softmax_row_avx2(row) },
+        _ => softmax_row_scalar(row),
+    }
+}
+
+fn softmax_row_scalar(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if softmax_uniform_fallback(row, max) {
+        return;
+    }
+    let mut sum = 0.0f32;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum;
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn softmax_row_avx2(row: &mut [f32]) {
+    let n = row.len();
+    let p = row.as_mut_ptr();
+    let mut i = 0usize;
+    let mut max = f32::NEG_INFINITY;
+    if n >= 8 {
+        let mut vmax = _mm256_loadu_ps(p);
+        i = 8;
+        while i + 8 <= n {
+            vmax = _mm256_max_ps(vmax, _mm256_loadu_ps(p.add(i)));
+            i += 8;
+        }
+        let lo = _mm256_castps256_ps128(vmax);
+        let hi = _mm256_extractf128_ps(vmax, 1);
+        let m4 = _mm_max_ps(lo, hi);
+        let m2 = _mm_max_ps(m4, _mm_movehl_ps(m4, m4));
+        let m1 = _mm_max_ss(m2, _mm_shuffle_ps(m2, m2, 1));
+        max = _mm_cvtss_f32(m1);
+    }
+    while i < n {
+        max = max.max(row[i]);
+        i += 1;
+    }
+    if softmax_uniform_fallback(row, max) {
+        return;
+    }
+    let vm = _mm256_set1_ps(max);
+    let mut vsum = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let e = exp256_ps(_mm256_sub_ps(_mm256_loadu_ps(p.add(i)), vm));
+        _mm256_storeu_ps(p.add(i), e);
+        vsum = _mm256_add_ps(vsum, e);
+        i += 8;
+    }
+    let mut sum = hsum256_ps(vsum);
+    while i < n {
+        let e = (row[i] - max).exp();
+        row[i] = e;
+        sum += e;
+        i += 1;
+    }
+    let inv = 1.0 / sum;
+    let vinv = _mm256_set1_ps(inv);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        _mm256_storeu_ps(p.add(i), _mm256_mul_ps(_mm256_loadu_ps(p.add(i)), vinv));
+        i += 8;
+    }
+    while i < n {
+        row[i] *= inv;
+        i += 1;
+    }
+}
+
+/// Fused SwiGLU elementwise kernel: `gate[i] = silu(gate[i]) * up[i]`.
+#[inline]
+pub fn silu_mul(gate: &mut [f32], up: &[f32]) {
+    silu_mul_with(backend(), gate, up);
+}
+
+/// [`silu_mul`] through an explicit backend.
+pub fn silu_mul_with(bk: Backend, gate: &mut [f32], up: &[f32]) {
+    assert_eq!(gate.len(), up.len());
+    match bk {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { silu_mul_avx2(gate, up) },
+        _ => {
+            for (g, u) in gate.iter_mut().zip(up.iter()) {
+                *g = crate::ops::silu(*g) * *u;
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn silu_mul_avx2(gate: &mut [f32], up: &[f32]) {
+    let n = gate.len();
+    let gp = gate.as_mut_ptr();
+    let upp = up.as_ptr();
+    let one = _mm256_set1_ps(1.0);
+    let zero = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let g = _mm256_loadu_ps(gp.add(i));
+        // silu(g) = g / (1 + e^{-g})
+        let e = exp256_ps(_mm256_sub_ps(zero, g));
+        let s = _mm256_div_ps(g, _mm256_add_ps(one, e));
+        _mm256_storeu_ps(gp.add(i), _mm256_mul_ps(s, _mm256_loadu_ps(upp.add(i))));
+        i += 8;
+    }
+    while i < n {
+        gate[i] = crate::ops::silu(gate[i]) * up[i];
+        i += 1;
+    }
+}
+
+/// RMS-norm one row: `out = x · gain / rms(x)`. The sum-of-squares
+/// reduction dispatches on the backend; the scale pass applies
+/// `x * (inv * g)` per element on every tier (bit-identical given the same
+/// `inv`).
+#[inline]
+pub fn rms_norm_row_into(x: &[f32], gain: &[f32], eps: f32, out: &mut [f32]) {
+    rms_norm_row_with(backend(), x, gain, eps, out);
+}
+
+/// [`rms_norm_row_into`] through an explicit backend.
+pub fn rms_norm_row_with(bk: Backend, x: &[f32], gain: &[f32], eps: f32, out: &mut [f32]) {
+    assert_eq!(x.len(), gain.len());
+    assert_eq!(x.len(), out.len());
+    let ms = sum_squares_with(bk, x) / x.len() as f32;
+    let inv = 1.0 / (ms + eps).sqrt();
+    match bk {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { scale_by_gain_avx2(x, gain, inv, out) },
+        _ => {
+            for ((o, v), g) in out.iter_mut().zip(x.iter()).zip(gain.iter()) {
+                *o = *v * (inv * *g);
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn scale_by_gain_avx2(x: &[f32], gain: &[f32], inv: f32, out: &mut [f32]) {
+    let n = x.len();
+    let xp = x.as_ptr();
+    let gp = gain.as_ptr();
+    let op = out.as_mut_ptr();
+    let vinv = _mm256_set1_ps(inv);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let scaled = _mm256_mul_ps(
+            _mm256_loadu_ps(xp.add(i)),
+            _mm256_mul_ps(vinv, _mm256_loadu_ps(gp.add(i))),
+        );
+        _mm256_storeu_ps(op.add(i), scaled);
+        i += 8;
+    }
+    while i < n {
+        *op.add(i) = *xp.add(i) * (inv * *gp.add(i));
+        i += 1;
+    }
+}
+
+/// Argmax through an explicit backend; ties break toward the lower index on
+/// every tier, and every tier shares the NaN debug guard.
+pub fn argmax_with(bk: Backend, row: &[f32]) -> usize {
+    argmax_debug_assert_no_nan(row);
+    match bk {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 if row.len() >= 16 => unsafe { argmax_avx2(row) },
+        _ => argmax_scalar(row),
+    }
+}
+
+fn argmax_scalar(row: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in row.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Vector max-reduce, then a scalar first-equal-index scan. `max` over
+/// non-NaN floats is exactly associative, so the reduced maximum equals the
+/// scalar one and the first index holding it is the scalar answer
+/// (including all-`-inf` rows → index 0, and `-0.0 == 0.0` ties).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn argmax_avx2(row: &[f32]) -> usize {
+    let n = row.len();
+    let p = row.as_ptr();
+    let mut vmax = _mm256_loadu_ps(p);
+    let mut i = 8usize;
+    while i + 8 <= n {
+        vmax = _mm256_max_ps(vmax, _mm256_loadu_ps(p.add(i)));
+        i += 8;
+    }
+    let lo = _mm256_castps256_ps128(vmax);
+    let hi = _mm256_extractf128_ps(vmax, 1);
+    let m4 = _mm_max_ps(lo, hi);
+    let m2 = _mm_max_ps(m4, _mm_movehl_ps(m4, m4));
+    let m1 = _mm_max_ss(m2, _mm_shuffle_ps(m2, m2, 1));
+    let mut max = _mm_cvtss_f32(m1);
+    while i < n {
+        max = max.max(row[i]);
+        i += 1;
+    }
+    row.iter().position(|&v| v == max).unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------------
+// int8 kernels (exact i32 accumulation on every tier).
+// ---------------------------------------------------------------------------
+
+/// Absmax-quantize one row to i8 codes, returning the scale `absmax / 127`
+/// (0.0 for an all-zero row). Every tier produces **identical codes and
+/// scale**: `max` over finite floats is exactly associative (so the lane
+/// reduction finds the same absmax as the scalar fold), the `v·inv` multiply
+/// rounds identically in a SIMD lane and in scalar code, and the AVX2 path
+/// reproduces `f32::round`'s half-away-from-zero rule exactly via
+/// `trunc(t + copysign(0.5, t))` — the add is exact for every |t| ≤ 2²²,
+/// far above the 127 this input reaches.
+pub fn quantize_row_i8_with(bk: Backend, x: &[f32], q: &mut [i8]) -> f32 {
+    assert_eq!(x.len(), q.len());
+    match bk {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { quantize_row_i8_avx2(x, q) },
+        _ => quantize_row_i8_scalar(x, q),
+    }
+}
+
+fn quantize_row_i8_scalar(x: &[f32], q: &mut [i8]) -> f32 {
+    let absmax = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    if absmax == 0.0 {
+        q.fill(0);
+        return 0.0;
+    }
+    let scale = absmax / 127.0;
+    let inv = 127.0 / absmax;
+    for (qv, &v) in q.iter_mut().zip(x.iter()) {
+        *qv = (v * inv).round().clamp(-127.0, 127.0) as i8;
+    }
+    scale
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn quantize_row_i8_avx2(x: &[f32], q: &mut [i8]) -> f32 {
+    let n = x.len();
+    let xp = x.as_ptr();
+    let sign_mask = _mm256_set1_ps(-0.0);
+    let mut vmax = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let v = _mm256_andnot_ps(sign_mask, _mm256_loadu_ps(xp.add(i)));
+        vmax = _mm256_max_ps(vmax, v);
+        i += 8;
+    }
+    let lo = _mm256_castps256_ps128(vmax);
+    let hi = _mm256_extractf128_ps(vmax, 1);
+    let m4 = _mm_max_ps(lo, hi);
+    let m2 = _mm_max_ps(m4, _mm_movehl_ps(m4, m4));
+    let m1 = _mm_max_ss(m2, _mm_shuffle_ps(m2, m2, 1));
+    let mut absmax = _mm_cvtss_f32(m1);
+    while i < n {
+        absmax = absmax.max(x[i].abs());
+        i += 1;
+    }
+    if absmax == 0.0 {
+        q.fill(0);
+        return 0.0;
+    }
+    let scale = absmax / 127.0;
+    let inv = 127.0 / absmax;
+    let vinv = _mm256_set1_ps(inv);
+    let vhalf = _mm256_set1_ps(0.5);
+    let qp = q.as_mut_ptr();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        let t = _mm256_mul_ps(_mm256_loadu_ps(xp.add(i)), vinv);
+        // Half-away-from-zero, exactly like `f32::round`: copy t's sign onto
+        // 0.5, add (exact in this range), truncate toward zero.
+        let half = _mm256_or_ps(vhalf, _mm256_and_ps(sign_mask, t));
+        let r = _mm256_round_ps(
+            _mm256_add_ps(t, half),
+            _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC,
+        );
+        // |t| < 127.001, so the saturating packs below cannot clip a value
+        // the scalar clamp would have kept.
+        let ri = _mm256_cvtps_epi32(r);
+        let p16 = _mm_packs_epi32(_mm256_castsi256_si128(ri), _mm256_extracti128_si256(ri, 1));
+        let p8 = _mm_packs_epi16(p16, p16);
+        _mm_storel_epi64(qp.add(i) as *mut __m128i, p8);
+        i += 8;
+    }
+    while i < n {
+        *qp.add(i) = (x[i] * inv).round().clamp(-127.0, 127.0) as i8;
+        i += 1;
+    }
+    scale
+}
+
+/// `Σ aᵢ·bᵢ` over i8 operands with i32 accumulation — exact on every
+/// backend, so SIMD and scalar agree bit-for-bit.
+#[inline]
+pub fn dot_i8_with(bk: Backend, a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    match bk {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => unsafe { dot_i8_sse2(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { dot_i8_avx2(a, b) },
+        _ => dot_i8_scalar(a, b),
+    }
+}
+
+/// Whole-matrix quantized matvec: `y[r] += (qx · qs[r·k..]) · sx·scales[r]`
+/// for every output row `r`. One dispatch per linear layer instead of one
+/// per output row, with four interleaved accumulator chains so the
+/// widened activation chunk is reused across rows. The i32 accumulation is
+/// exact and associative, so blocking cannot change any result — every
+/// tier stays bit-for-bit equal to a loop of [`dot_i8_with`] calls.
+pub fn vecmat_q8_acc_kernel(
+    bk: Backend,
+    y: &mut [f32],
+    qx: &[i8],
+    sx: f32,
+    qs: &[i8],
+    scales: &[f32],
+    k: usize,
+) {
+    let n = y.len();
+    assert_eq!(qx.len(), k, "activation length must equal k_in");
+    assert_eq!(scales.len(), n, "one scale per output row");
+    assert_eq!(qs.len(), n * k, "codes must be n_out rows of k_in");
+    match bk {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => unsafe { vecmat_q8_acc_sse2(y, qx, sx, qs, scales, k) },
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { vecmat_q8_acc_avx2(y, qx, sx, qs, scales, k) },
+        _ => {
+            for (r, yv) in y.iter_mut().enumerate() {
+                let acc = dot_i8_scalar(qx, &qs[r * k..(r + 1) * k]);
+                *yv += acc as f32 * (sx * scales[r]);
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn vecmat_q8_acc_avx2(
+    y: &mut [f32],
+    qx: &[i8],
+    sx: f32,
+    qs: &[i8],
+    scales: &[f32],
+    k: usize,
+) {
+    let n = y.len();
+    let xp = qx.as_ptr();
+    let wp = qs.as_ptr();
+    let mut r = 0usize;
+    while r + 4 <= n {
+        let w0 = wp.add(r * k);
+        let w1 = wp.add((r + 1) * k);
+        let w2 = wp.add((r + 2) * k);
+        let w3 = wp.add((r + 3) * k);
+        let mut a0 = _mm256_setzero_si256();
+        let mut a1 = _mm256_setzero_si256();
+        let mut a2 = _mm256_setzero_si256();
+        let mut a3 = _mm256_setzero_si256();
+        let mut i = 0usize;
+        while i + 16 <= k {
+            // Widen the activation chunk once, reuse it for all four rows.
+            let vx = _mm256_cvtepi8_epi16(_mm_loadu_si128(xp.add(i) as *const __m128i));
+            let v0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(w0.add(i) as *const __m128i));
+            let v1 = _mm256_cvtepi8_epi16(_mm_loadu_si128(w1.add(i) as *const __m128i));
+            let v2 = _mm256_cvtepi8_epi16(_mm_loadu_si128(w2.add(i) as *const __m128i));
+            let v3 = _mm256_cvtepi8_epi16(_mm_loadu_si128(w3.add(i) as *const __m128i));
+            a0 = _mm256_add_epi32(a0, _mm256_madd_epi16(vx, v0));
+            a1 = _mm256_add_epi32(a1, _mm256_madd_epi16(vx, v1));
+            a2 = _mm256_add_epi32(a2, _mm256_madd_epi16(vx, v2));
+            a3 = _mm256_add_epi32(a3, _mm256_madd_epi16(vx, v3));
+            i += 16;
+        }
+        let mut t = [
+            hsum256_epi32(a0),
+            hsum256_epi32(a1),
+            hsum256_epi32(a2),
+            hsum256_epi32(a3),
+        ];
+        while i < k {
+            let xv = *xp.add(i) as i32;
+            t[0] += xv * *w0.add(i) as i32;
+            t[1] += xv * *w1.add(i) as i32;
+            t[2] += xv * *w2.add(i) as i32;
+            t[3] += xv * *w3.add(i) as i32;
+            i += 1;
+        }
+        for (off, tot) in t.into_iter().enumerate() {
+            y[r + off] += tot as f32 * (sx * scales[r + off]);
+        }
+        r += 4;
+    }
+    while r < n {
+        let acc = dot_i8_avx2(qx, std::slice::from_raw_parts(wp.add(r * k), k));
+        y[r] += acc as f32 * (sx * scales[r]);
+        r += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn hsum256_epi32(v: __m256i) -> i32 {
+    let lo = _mm256_castsi256_si128(v);
+    let hi = _mm256_extracti128_si256(v, 1);
+    let s = _mm_add_epi32(lo, hi);
+    let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b0000_1110));
+    let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b0000_0001));
+    _mm_cvtsi128_si32(s)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn vecmat_q8_acc_sse2(
+    y: &mut [f32],
+    qx: &[i8],
+    sx: f32,
+    qs: &[i8],
+    scales: &[f32],
+    k: usize,
+) {
+    let n = y.len();
+    let xp = qx.as_ptr();
+    let wp = qs.as_ptr();
+    let mut r = 0usize;
+    while r + 2 <= n {
+        let w0 = wp.add(r * k);
+        let w1 = wp.add((r + 1) * k);
+        let mut a0 = _mm_setzero_si128();
+        let mut a1 = _mm_setzero_si128();
+        let mut i = 0usize;
+        while i + 16 <= k {
+            let vx = _mm_loadu_si128(xp.add(i) as *const __m128i);
+            let x_lo = _mm_srai_epi16(_mm_unpacklo_epi8(vx, vx), 8);
+            let x_hi = _mm_srai_epi16(_mm_unpackhi_epi8(vx, vx), 8);
+            let v0 = _mm_loadu_si128(w0.add(i) as *const __m128i);
+            let v1 = _mm_loadu_si128(w1.add(i) as *const __m128i);
+            a0 = _mm_add_epi32(
+                a0,
+                _mm_madd_epi16(x_lo, _mm_srai_epi16(_mm_unpacklo_epi8(v0, v0), 8)),
+            );
+            a0 = _mm_add_epi32(
+                a0,
+                _mm_madd_epi16(x_hi, _mm_srai_epi16(_mm_unpackhi_epi8(v0, v0), 8)),
+            );
+            a1 = _mm_add_epi32(
+                a1,
+                _mm_madd_epi16(x_lo, _mm_srai_epi16(_mm_unpacklo_epi8(v1, v1), 8)),
+            );
+            a1 = _mm_add_epi32(
+                a1,
+                _mm_madd_epi16(x_hi, _mm_srai_epi16(_mm_unpackhi_epi8(v1, v1), 8)),
+            );
+            i += 16;
+        }
+        let s0 = _mm_add_epi32(a0, _mm_shuffle_epi32(a0, 0b0000_1110));
+        let s0 = _mm_add_epi32(s0, _mm_shuffle_epi32(s0, 0b0000_0001));
+        let s1 = _mm_add_epi32(a1, _mm_shuffle_epi32(a1, 0b0000_1110));
+        let s1 = _mm_add_epi32(s1, _mm_shuffle_epi32(s1, 0b0000_0001));
+        let mut t0 = _mm_cvtsi128_si32(s0);
+        let mut t1 = _mm_cvtsi128_si32(s1);
+        while i < k {
+            let xv = *xp.add(i) as i32;
+            t0 += xv * *w0.add(i) as i32;
+            t1 += xv * *w1.add(i) as i32;
+            i += 1;
+        }
+        y[r] += t0 as f32 * (sx * scales[r]);
+        y[r + 1] += t1 as f32 * (sx * scales[r + 1]);
+        r += 2;
+    }
+    while r < n {
+        let acc = dot_i8_sse2(qx, std::slice::from_raw_parts(wp.add(r * k), k));
+        y[r] += acc as f32 * (sx * scales[r]);
+        r += 1;
+    }
+}
+
+fn dot_i8_scalar(a: &[i8], b: &[i8]) -> i32 {
+    let mut acc = 0i32;
+    for (av, bv) in a.iter().zip(b.iter()) {
+        acc += *av as i32 * *bv as i32;
+    }
+    acc
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_i8_avx2(a: &[i8], b: &[i8]) -> i32 {
+    let n = a.len();
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut acc = _mm256_setzero_si256();
+    let mut i = 0usize;
+    while i + 16 <= n {
+        let va = _mm256_cvtepi8_epi16(_mm_loadu_si128(ap.add(i) as *const __m128i));
+        let vb = _mm256_cvtepi8_epi16(_mm_loadu_si128(bp.add(i) as *const __m128i));
+        // madd: i16×i16 products summed in pairs into i32 lanes — exact
+        // (|p| ≤ 127² so even the pairwise sum fits i32 with room).
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(va, vb));
+        i += 16;
+    }
+    let lo = _mm256_castsi256_si128(acc);
+    let hi = _mm256_extracti128_si256(acc, 1);
+    let s = _mm_add_epi32(lo, hi);
+    let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b0000_1110));
+    let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b0000_0001));
+    let mut total = _mm_cvtsi128_si32(s);
+    while i < n {
+        total += a[i] as i32 * b[i] as i32;
+        i += 1;
+    }
+    total
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn dot_i8_sse2(a: &[i8], b: &[i8]) -> i32 {
+    let n = a.len();
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut acc = _mm_setzero_si128();
+    let mut i = 0usize;
+    while i + 16 <= n {
+        let va = _mm_loadu_si128(ap.add(i) as *const __m128i);
+        let vb = _mm_loadu_si128(bp.add(i) as *const __m128i);
+        // Sign-extend i8 → i16 with the unpack-with-self + arithmetic-shift
+        // trick (SSE2 has no cvtepi8_epi16).
+        let a_lo = _mm_srai_epi16(_mm_unpacklo_epi8(va, va), 8);
+        let a_hi = _mm_srai_epi16(_mm_unpackhi_epi8(va, va), 8);
+        let b_lo = _mm_srai_epi16(_mm_unpacklo_epi8(vb, vb), 8);
+        let b_hi = _mm_srai_epi16(_mm_unpackhi_epi8(vb, vb), 8);
+        acc = _mm_add_epi32(acc, _mm_madd_epi16(a_lo, b_lo));
+        acc = _mm_add_epi32(acc, _mm_madd_epi16(a_hi, b_hi));
+        i += 16;
+    }
+    let s = _mm_add_epi32(acc, _mm_shuffle_epi32(acc, 0b0000_1110));
+    let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b0000_0001));
+    let mut total = _mm_cvtsi128_si32(s);
+    while i < n {
+        total += a[i] as i32 * b[i] as i32;
+        i += 1;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    /// Backends actually runnable on this host (scalar always; SIMD tiers
+    /// when supported), so the suite exercises every dispatch path it can.
+    fn supported() -> Vec<Backend> {
+        Backend::ALL
+            .iter()
+            .copied()
+            .filter(|b| b.is_supported())
+            .collect()
+    }
+
+    /// The non-multiple-of-lane-width shapes where unrolled kernels break.
+    const TAIL_DIMS: [usize; 22] = [
+        1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 31, 33, 63, 64, 65,
+    ];
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in Backend::ALL {
+            assert_eq!(Backend::from_name(b.name()), Some(b));
+            assert_eq!(Backend::from_name(&b.name().to_uppercase()), Some(b));
+        }
+        assert_eq!(Backend::from_name(" avx2 "), Some(Backend::Avx2));
+        assert_eq!(Backend::from_name("avx512"), None);
+        assert_eq!(Backend::from_name(""), None);
+    }
+
+    #[test]
+    fn set_backend_rejects_unsupported_and_accepts_scalar() {
+        let prev = backend();
+        assert!(set_backend(Backend::Scalar).is_ok());
+        assert_eq!(backend(), Backend::Scalar);
+        set_backend(prev).unwrap();
+        #[cfg(not(target_arch = "x86_64"))]
+        assert!(set_backend(Backend::Avx2).is_err());
+    }
+
+    /// Satellite: every SIMD backend must match the scalar vecmat reference
+    /// **bitwise** on every tail shape (the determinism contract that keeps
+    /// backend choice from moving logits).
+    #[test]
+    fn vecmat_simd_matches_scalar_bitwise_on_tail_shapes() {
+        let mut rng = Rng::new(0x51D);
+        for &k in &TAIL_DIMS {
+            for &n in &TAIL_DIMS {
+                let x: Vec<f32> = (0..k).map(|_| rng.uniform(-1.0, 1.0)).collect();
+                let w: Vec<f32> = (0..k * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+                let y0: Vec<f32> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+                let mut y_ref = y0.clone();
+                vecmat_acc_into_with(Backend::Scalar, &mut y_ref, &x, &w, k, n);
+                for bk in supported() {
+                    let mut y = y0.clone();
+                    vecmat_acc_into_with(bk, &mut y, &x, &w, k, n);
+                    assert_eq!(y, y_ref, "vecmat_acc {} diverged at k={k} n={n}", bk.name());
+                    let mut y = vec![0.0; n];
+                    let mut y_into_ref = vec![0.0; n];
+                    vecmat_into_with(Backend::Scalar, &mut y_into_ref, &x, &w, k, n);
+                    vecmat_into_with(bk, &mut y, &x, &w, k, n);
+                    assert_eq!(
+                        y,
+                        y_into_ref,
+                        "vecmat {} diverged at k={k} n={n}",
+                        bk.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Satellite: int8 dots accumulate exactly, so every backend must agree
+    /// **exactly** with scalar on every tail shape.
+    #[test]
+    fn dot_i8_simd_matches_scalar_exactly_on_tail_shapes() {
+        let mut rng = Rng::new(0x1D8);
+        for &k in &TAIL_DIMS {
+            let a: Vec<i8> = (0..k)
+                .map(|_| (rng.below(255) as i32 - 127) as i8)
+                .collect();
+            let b: Vec<i8> = (0..k)
+                .map(|_| (rng.below(255) as i32 - 127) as i8)
+                .collect();
+            let want = dot_i8_with(Backend::Scalar, &a, &b);
+            for bk in supported() {
+                assert_eq!(dot_i8_with(bk, &a, &b), want, "{} k={k}", bk.name());
+            }
+        }
+    }
+
+    #[test]
+    fn dot_and_sum_squares_agree_across_backends_within_tolerance() {
+        let mut rng = Rng::new(0xD07);
+        for &n in &TAIL_DIMS {
+            let a: Vec<f32> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let b: Vec<f32> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let d_ref = dot_with(Backend::Scalar, &a, &b);
+            let s_ref = sum_squares_with(Backend::Scalar, &a);
+            for bk in supported() {
+                assert!(
+                    (dot_with(bk, &a, &b) - d_ref).abs() < 1e-4,
+                    "{} n={n}",
+                    bk.name()
+                );
+                assert!(
+                    (sum_squares_with(bk, &a) - s_ref).abs() < 1e-4,
+                    "{} n={n}",
+                    bk.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_matches_scalar_bitwise() {
+        let mut rng = Rng::new(0xA9);
+        for &n in &TAIL_DIMS {
+            let x: Vec<f32> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let y0: Vec<f32> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let s = rng.uniform(-2.0, 2.0);
+            let mut y_ref = y0.clone();
+            axpy_with(Backend::Scalar, &mut y_ref, s, &x);
+            for bk in supported() {
+                let mut y = y0.clone();
+                axpy_with(bk, &mut y, s, &x);
+                assert_eq!(y, y_ref, "{} n={n}", bk.name());
+            }
+        }
+    }
+
+    /// The batched attention kernels must be **bit-identical** on every tier
+    /// to the per-position `dot_with`/`axpy_with` loops they replace — over
+    /// tail head dims, tail position counts, and a strided slab (head offset
+    /// inside a wider cache row).
+    #[test]
+    fn attn_kernels_match_per_position_loops() {
+        let mut rng = Rng::new(0xA77);
+        for &d in &[1usize, 3, 7, 8, 9, 16, 31, 32, 33, 63, 64, 65, 96] {
+            for &l in &[0usize, 1, 2, 3, 4, 5, 7, 8, 9, 16, 33] {
+                let stride = d + 5; // head carved out of a wider cache row
+                let q: Vec<f32> = (0..d).map(|_| rng.uniform(-1.0, 1.0)).collect();
+                let slab: Vec<f32> = (0..l.max(1) * stride)
+                    .map(|_| rng.uniform(-1.0, 1.0))
+                    .collect();
+                let w: Vec<f32> = (0..l).map(|_| rng.uniform(-1.0, 1.0)).collect();
+                let out0: Vec<f32> = (0..d).map(|_| rng.uniform(-1.0, 1.0)).collect();
+                let scale = 0.37f32;
+                for bk in supported() {
+                    let mut scores = vec![0.0f32; l];
+                    attn_scores_with(bk, &mut scores, &q, &slab, stride, scale);
+                    for j in 0..l {
+                        let want = dot_with(bk, &q, &slab[j * stride..j * stride + d]) * scale;
+                        assert_eq!(
+                            scores[j].to_bits(),
+                            want.to_bits(),
+                            "{} scores d={d} l={l} j={j}",
+                            bk.name()
+                        );
+                    }
+                    let mut out = out0.clone();
+                    attn_mix_with(bk, &mut out, &w, &slab, stride);
+                    let mut want = out0.clone();
+                    for j in 0..l {
+                        axpy_with(bk, &mut want, w[j], &slab[j * stride..j * stride + d]);
+                    }
+                    for e in 0..d {
+                        assert_eq!(
+                            out[e].to_bits(),
+                            want[e].to_bits(),
+                            "{} mix d={d} l={l} e={e}",
+                            bk.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_agrees_across_backends() {
+        let mut rng = Rng::new(0x50F);
+        for &n in &TAIL_DIMS {
+            let base: Vec<f32> = (0..n).map(|_| rng.uniform(-8.0, 8.0)).collect();
+            let mut p_ref = base.clone();
+            softmax_row_with(Backend::Scalar, &mut p_ref);
+            for bk in supported() {
+                let mut p = base.clone();
+                softmax_row_with(bk, &mut p);
+                let sum: f32 = p.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-4, "{} n={n} sum={sum}", bk.name());
+                for (a, b) in p.iter().zip(&p_ref) {
+                    assert!((a - b).abs() < 1e-5, "{} n={n}", bk.name());
+                }
+            }
+        }
+    }
+
+    /// Satellite: the uniform fallback is one shared helper — feed an
+    /// all-`-inf` row through **every** dispatch path and require the
+    /// identical uniform answer (and argmax → index 0).
+    #[test]
+    fn all_neg_inf_rows_take_shared_uniform_fallback_on_every_backend() {
+        for bk in supported() {
+            for n in [1usize, 7, 8, 16, 33] {
+                let mut row = vec![f32::NEG_INFINITY; n];
+                softmax_row_with(bk, &mut row);
+                for &v in &row {
+                    assert_eq!(v, 1.0 / n as f32, "{} n={n}", bk.name());
+                }
+                let masked = vec![f32::NEG_INFINITY; n.max(16)];
+                assert_eq!(argmax_with(bk, &masked), 0, "{} n={n}", bk.name());
+            }
+        }
+    }
+
+    #[test]
+    fn argmax_matches_scalar_and_breaks_ties_low() {
+        let mut rng = Rng::new(0xA44);
+        for trial in 0..40 {
+            let n = 1 + rng.below(70);
+            let mut row: Vec<f32> = (0..n).map(|_| rng.uniform(-4.0, 4.0)).collect();
+            if trial % 3 == 0 && n >= 4 {
+                // Force a tie to pin the low-index break on every tier.
+                let v = row[n / 3];
+                row[2 * n / 3] = v;
+            }
+            let want = argmax_with(Backend::Scalar, &row);
+            for bk in supported() {
+                assert_eq!(argmax_with(bk, &row), want, "{} n={n}", bk.name());
+            }
+        }
+    }
+
+    /// Satellite: the NaN debug-assert is the same shared guard on every
+    /// dispatch path.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn argmax_rejects_nan_on_every_backend() {
+        for bk in supported() {
+            let mut row = vec![0.25f32; 24];
+            row[17] = f32::NAN;
+            let r = std::panic::catch_unwind(|| argmax_with(bk, &row));
+            assert!(r.is_err(), "{} accepted a NaN row", bk.name());
+        }
+    }
+
+    #[test]
+    fn silu_mul_agrees_across_backends() {
+        let mut rng = Rng::new(0x517);
+        for &n in &TAIL_DIMS {
+            let gate: Vec<f32> = (0..n).map(|_| rng.uniform(-6.0, 6.0)).collect();
+            let up: Vec<f32> = (0..n).map(|_| rng.uniform(-2.0, 2.0)).collect();
+            let mut want = gate.clone();
+            silu_mul_with(Backend::Scalar, &mut want, &up);
+            for bk in supported() {
+                let mut got = gate.clone();
+                silu_mul_with(bk, &mut got, &up);
+                for (a, b) in got.iter().zip(&want) {
+                    assert!((a - b).abs() < 2e-5, "{} n={n}: {a} vs {b}", bk.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rms_norm_agrees_across_backends() {
+        let mut rng = Rng::new(0x4A5);
+        for &n in &TAIL_DIMS {
+            let x: Vec<f32> = (0..n).map(|_| rng.uniform(-3.0, 3.0)).collect();
+            let gain: Vec<f32> = (0..n).map(|_| rng.uniform(0.5, 1.5)).collect();
+            let mut want = vec![0.0; n];
+            rms_norm_row_with(Backend::Scalar, &x, &gain, 1e-5, &mut want);
+            for bk in supported() {
+                let mut got = vec![0.0; n];
+                rms_norm_row_with(bk, &x, &gain, 1e-5, &mut got);
+                for (a, b) in got.iter().zip(&want) {
+                    assert!((a - b).abs() < 1e-5, "{} n={n}", bk.name());
+                }
+            }
+        }
+    }
+
+    /// The polynomial exp inside the AVX2 softmax must track `f32::exp`
+    /// closely over the softmax input range (x - max ≤ 0).
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_softmax_exp_accuracy_over_range() {
+        if !Backend::Avx2.is_supported() {
+            return;
+        }
+        // Probe via softmax of [x, 0]: p0 = e^x / (e^x + 1) recovers e^x.
+        for i in 0..200 {
+            let x = -20.0 + 0.1 * i as f32;
+            let mut row = vec![x, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+            softmax_row_with(Backend::Avx2, &mut row);
+            let mut row_s = vec![x, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+            softmax_row_with(Backend::Scalar, &mut row_s);
+            assert!(
+                (row[0] - row_s[0]).abs() < 1e-6,
+                "softmax exp drift at x={x}: {} vs {}",
+                row[0],
+                row_s[0]
+            );
+        }
+    }
+}

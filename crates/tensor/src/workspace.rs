@@ -25,6 +25,9 @@ use crate::profile::Profiler;
 #[derive(Debug, Default)]
 pub struct Workspace {
     free: Vec<Vec<f32>>,
+    /// Separate i8 pool for the quantized path's activation-code scratch —
+    /// same best-fit discipline, so int8 decode stays zero-allocation too.
+    free_i8: Vec<Vec<i8>>,
     fresh_allocs: usize,
     /// Per-op decode profiler (disabled by default; see [`Profiler`]).
     pub prof: Profiler,
@@ -69,9 +72,41 @@ impl Workspace {
         self.free.push(buf);
     }
 
-    /// Number of buffers currently pooled (diagnostics).
+    /// Borrow a zeroed i8 buffer of exactly `len` elements (best-fit, same
+    /// contract as [`Workspace::take`]); used by the int8 path for per-call
+    /// activation quantization scratch.
+    pub fn take_i8(&mut self, len: usize) -> Vec<i8> {
+        let mut best: Option<usize> = None;
+        for (i, buf) in self.free_i8.iter().enumerate() {
+            if buf.capacity() >= len
+                && best.is_none_or(|j| buf.capacity() < self.free_i8[j].capacity())
+            {
+                best = Some(i);
+            }
+        }
+        let mut buf = match best {
+            Some(i) => self.free_i8.swap_remove(i),
+            None => {
+                self.fresh_allocs += 1;
+                Vec::with_capacity(len)
+            }
+        };
+        buf.clear();
+        buf.resize(len, 0);
+        buf
+    }
+
+    /// Return an i8 buffer to the pool for reuse.
+    pub fn give_i8(&mut self, buf: Vec<i8>) {
+        if self.free_i8.len() == self.free_i8.capacity() {
+            self.free_i8.reserve(16);
+        }
+        self.free_i8.push(buf);
+    }
+
+    /// Number of buffers currently pooled (diagnostics; both element types).
     pub fn pooled(&self) -> usize {
-        self.free.len()
+        self.free.len() + self.free_i8.len()
     }
 
     /// Fresh heap allocations performed so far. In a steady-state loop this

@@ -19,6 +19,7 @@ fn start_server() -> Server {
             slots: 2,
             workers: 1,
             max_queue: 16,
+            ..EngineConfig::default()
         },
     );
     Server::start(engine, "127.0.0.1:0").expect("bind ephemeral port")
@@ -89,17 +90,44 @@ fn protocol_errors_cancel_and_metrics() {
     assert!(c.roundtrip("POLL 424242").unwrap().starts_with("ERR "));
     assert!(c.roundtrip("CANCEL 424242").unwrap().starts_with("ERR "));
 
-    // Submit a long request and cancel it over the wire.
-    let id = c
-        .submit("SUB mode=spec gamma=3 budget=60 prompt=3,7,1,9")
+    // Cancel a request over the wire. A tiny model drains its whole budget
+    // faster than a second client roundtrip, so the CANCEL frame must already
+    // be sitting in the connection buffer when the SUB is processed: learn
+    // the sequential id counter from a warm-up request, then pipeline
+    // SUB+CANCEL back-to-back and retry the race. A request that still
+    // finishes first must report ERR on cancel and "done" on poll.
+    use aasd::serve::proto::{read_frame, write_frame};
+    let warm = c
+        .submit("SUB mode=spec gamma=3 budget=2 prompt=5")
         .expect("io")
         .expect("admitted");
-    assert_eq!(
-        c.roundtrip(&format!("CANCEL {id}")).unwrap(),
-        format!("OK {id}")
-    );
-    let (status, _) = c.wait_done(id).expect("poll");
-    assert_eq!(status, "cancelled");
+    let _ = c.wait_done(warm).expect("poll");
+    let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+    let mut cancelled = false;
+    for next in warm + 1..=warm + 20 {
+        write_frame(
+            &mut stream,
+            "SUB mode=spec gamma=3 budget=120 prompt=3,7,1,9",
+        )
+        .unwrap();
+        write_frame(&mut stream, &format!("CANCEL {next}")).unwrap();
+        let sub = read_frame(&mut stream).unwrap().expect("sub reply");
+        assert_eq!(sub, format!("OK {next}"), "ids must be sequential");
+        let reply = read_frame(&mut stream).unwrap().expect("cancel reply");
+        if reply == format!("OK {next}") {
+            let (status, _) = c.wait_done(next).expect("poll");
+            assert_eq!(status, "cancelled");
+            cancelled = true;
+            break;
+        }
+        assert!(
+            reply.starts_with("ERR "),
+            "unexpected cancel reply: {reply}"
+        );
+        let (status, _) = c.wait_done(next).expect("poll");
+        assert_eq!(status, "done");
+    }
+    assert!(cancelled, "pipelined cancel never beat a budget-120 decode");
 
     // A fresh request still completes after the cancel.
     let id2 = c
@@ -110,9 +138,17 @@ fn protocol_errors_cancel_and_metrics() {
     assert_eq!(status2, "done");
     assert_eq!(tokens2.len(), 10);
 
-    // Metrics endpoints reflect the traffic.
+    // Metrics endpoints reflect the traffic: warm-up + ≥1 raced submit +
+    // id2 were admitted, and exactly one cancel landed.
     let text = c.roundtrip("METRICS").unwrap();
-    assert!(text.contains("aasd_requests_submitted_total 2"), "{text}");
+    let submitted: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("aasd_requests_submitted_total "))
+        .expect("submitted counter present")
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(submitted >= 3, "{text}");
     assert!(text.contains("aasd_requests_cancelled_total 1"), "{text}");
     let json = c.roundtrip("METRICS_JSON").unwrap();
     assert!(json.contains("\"completed\":"), "{json}");
@@ -133,6 +169,7 @@ fn busy_then_retry() {
             slots: 1,
             workers: 1,
             max_queue: 1,
+            ..EngineConfig::default()
         },
     );
     let server = Server::start(engine, "127.0.0.1:0").expect("bind");

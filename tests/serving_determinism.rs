@@ -45,6 +45,7 @@ fn run_text_engine(workers: usize, reqs: &[Request]) -> Vec<(Status, Vec<u32>)> 
             slots: 3,
             workers,
             max_queue: 64,
+            ..EngineConfig::default()
         },
     );
     let handles: Vec<_> = reqs
@@ -128,6 +129,7 @@ fn multimodal_streams_are_worker_independent() {
                 slots: 2,
                 workers,
                 max_queue: 16,
+                ..EngineConfig::default()
             },
         );
         let handles: Vec<_> = reqs

@@ -13,7 +13,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use aasd::nn::{Decoder, DecoderConfig};
+use aasd::nn::{Decoder, DecoderConfig, KernelPolicy};
 use aasd::tensor::Workspace;
 
 struct CountingAlloc;
@@ -79,4 +79,34 @@ fn steady_state_decode_step_performs_zero_heap_allocations() {
         after - before
     );
     assert_eq!(ws.fresh_allocs(), pool_before, "workspace pool grew");
+
+    // Phase 2 (same single test — see the binary-level constraint above):
+    // the int8 kernel path must hold the identical guarantee. Its extra
+    // per-call activation-quantization scratch comes from the workspace's
+    // i8 pool, so after its own warm-up the quantized step is equally
+    // allocation-free.
+    let mut q_model = model.clone();
+    q_model.set_kernel_policy(KernelPolicy::Int8);
+    let mut q_cache = q_model.new_cache();
+    q_model.forward_infer_ws(&prompt, &mut q_cache, &mut ws, &mut prefill);
+    for _ in 0..3 {
+        q_model.forward_infer_ws(&[tok], &mut q_cache, &mut ws, &mut logits);
+        tok = aasd::tensor::argmax(&logits) as u32;
+    }
+
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let pool_before = ws.fresh_allocs();
+    for _ in 0..32 {
+        q_model.forward_infer_ws(&[tok], &mut q_cache, &mut ws, &mut logits);
+        tok = aasd::tensor::argmax(&logits) as u32;
+    }
+    let after = ALLOC_CALLS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state int8 decode steps hit the allocator {} times",
+        after - before
+    );
+    assert_eq!(ws.fresh_allocs(), pool_before, "int8 workspace pool grew");
 }
