@@ -38,6 +38,17 @@ if [[ "${1:-}" != "--quick" ]]; then
     # completion asserted token-identical to the fused single-request loop.
     cargo test -q -p aasd --test server_smoke
 
+    echo "==> paged-pool gate: serving determinism + mm losslessness on both kernel tiers"
+    # The block-paged KV pool, vision cache, and adaptive-gamma controller
+    # must never change a served token: run the worker-count determinism
+    # suite and the multimodal losslessness suite pinned to the scalar
+    # reference and again on the host's best backend, so a paging bug that
+    # only reproduces under one dispatch tier cannot slip through.
+    AASD_KERNEL=scalar cargo test -q -p aasd --test serving_determinism
+    AASD_KERNEL=scalar cargo test -q -p aasd --test mm_lossless
+    cargo test -q -p aasd --test serving_determinism
+    cargo test -q -p aasd --test mm_lossless
+
     echo "==> kernel gate: equivalence suite on forced-scalar and host-best tiers"
     # The SIMD/int8 kernel layer must be lossless on every dispatch tier the
     # host supports. Run the tensor kernel tests plus the int8 spec≡AR suite
@@ -49,7 +60,7 @@ if [[ "${1:-}" != "--quick" ]]; then
     cargo test -q -p aasd-tensor
     cargo test -q -p aasd --test int8_equivalence
 
-    echo "==> perf snapshot smoke (every bench section incl. multimodal + serving)"
+    echo "==> perf snapshot smoke (every bench section; decode-step regression vs latest BENCH_PR*.json is a hard failure)"
     cargo run --release -q -p aasd-bench --bin perf_snapshot -- /tmp/bench_smoke.json --smoke
 
     echo "==> cargo fmt --check"

@@ -1,8 +1,30 @@
 //! Perf-trajectory snapshot harness: runs the kernel, decode, speculative,
 //! training, multimodal, and serving benches and writes a machine-readable
-//! JSON summary (default `BENCH_PR6.json`, override with the first CLI
+//! JSON summary (default `BENCH_PR7.json`, override with the first CLI
 //! arg). Future perf PRs regress against this file; earlier-PR sections are
 //! kept so trajectories stay comparable.
+//!
+//! New in PR7:
+//! * `paged_pool` measures the block-paged KV pool: the concurrent-session
+//!   capacity multiplier at the PR5 arena size, the lease/release cycle
+//!   cost, and the decode-step overhead of a leased (paged) cache vs a
+//!   contiguous one — asserted bit-identical via the chunk-invariant
+//!   attention kernels;
+//! * `vision_cache` races the full vision prefill leg (tower + connector +
+//!   embeds pass) against a shared-prefix cache hit (a copy-on-write block
+//!   lease), the serving-layer win for repeated images;
+//! * `adaptive_gamma` runs a mixed-α burst (half aligned draft, half
+//!   untrained) under every fixed γ and under the per-session adaptive
+//!   controller, and asserts the adaptive pass-count efficiency is at
+//!   least the best fixed γ's;
+//! * under `--smoke`, the decode-step regression check now auto-discovers
+//!   the latest committed `BENCH_PR*.json` as its baseline and FAILS the
+//!   run (non-zero exit → hard `ci.sh` failure) on any >25% regression,
+//!   instead of printing a warning against a hard-coded `BENCH_PR5.json`.
+//!   The gate compares the fresh *minimum* sample against the committed
+//!   median: background load only inflates samples, so the floor is the
+//!   load-robust signal, and a real code regression raises the floor too
+//!   (the bar sits above the shared box's ~±15% run-to-run drift).
 //!
 //! New in PR6:
 //! * `kernels` races the runtime-dispatched kernel tiers against each other
@@ -56,14 +78,14 @@ use aasd_mm::{
     distill_hybrid, draft_for, mm_autoregressive_ws, mm_speculative_ws, Ablation,
     HybridDistillConfig, Image, KvProjector, LlavaSim, LlavaSimConfig,
 };
-use aasd_nn::{Decoder, DecoderConfig, KernelPolicy};
+use aasd_nn::{Decoder, DecoderConfig, KernelPolicy, KvPool};
 use aasd_serve::{DecodeMode, Engine, EngineConfig, EngineModel, Request, Status};
 use aasd_specdec::{
     autoregressive_greedy, autoregressive_greedy_with_budget_ws, speculative_greedy_with_budget_ws,
-    verify_greedy, verify_greedy_sequential,
+    verify_greedy, verify_greedy_sequential, AdaptiveGamma, SpecSession, SpecStats,
 };
 use aasd_tensor::{
-    backend, best_supported, hardware_threads, matmul_blocked_into, matmul_naive_into,
+    argmax, backend, best_supported, hardware_threads, matmul_blocked_into, matmul_naive_into,
     matmul_parallel_into, quantize_row_i8, set_backend, vecmat_into, vecmat_q8_into, Backend, Op,
     QuantMatrix, Rng, Workspace,
 };
@@ -79,23 +101,69 @@ use std::time::Instant;
 /// this frozen constant so the comparison survives re-benching.
 const PR5_FUSED_CTX512_MS: f64 = 0.968288;
 
-/// `--smoke` tripwire: scan `BENCH_PR5.json` for the fused decode-step
-/// medians and warn (not fail — smoke numbers are noisy) when a freshly
-/// measured median is >10% slower. Minimal text scan, no JSON parser: the
-/// snapshot format is the one this binary writes.
-fn warn_decode_step_regressions(fresh: &[(usize, f64)]) {
-    let Ok(text) = std::fs::read_to_string("BENCH_PR5.json") else {
-        println!("(no BENCH_PR5.json found; skipping decode-step regression check)");
-        return;
+/// Highest-numbered committed `BENCH_PR<n>.json` in the working directory,
+/// skipping the snapshot currently being written — so the regression gate
+/// always races against the latest landed baseline and never has to be
+/// re-pointed by hand when a new PR freezes a new snapshot.
+fn latest_committed_snapshot(out_path: &str) -> Option<String> {
+    let mut best: Option<(u32, String)> = None;
+    for entry in std::fs::read_dir(".").ok()?.flatten() {
+        let Ok(name) = entry.file_name().into_string() else {
+            continue;
+        };
+        let Some(num) = name
+            .strip_prefix("BENCH_PR")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|n| n.parse::<u32>().ok())
+        else {
+            continue;
+        };
+        if name == out_path {
+            continue;
+        }
+        if best.as_ref().is_none_or(|(b, _)| num > *b) {
+            best = Some((num, name));
+        }
+    }
+    best.map(|(_, name)| name)
+}
+
+/// `--smoke` gate: scan the latest committed `BENCH_PR*.json` for the fused
+/// decode-step medians and return a failure line for every ctx whose fresh
+/// **minimum** sample breaches [`REGRESSION_SLACK`] over the committed
+/// median. The gate compares the fresh floor, not the fresh median, on
+/// purpose: background load on the shared box can only inflate samples, so
+/// the min of even a short smoke run is a load-robust estimate of the
+/// code's true cost, while a genuine code regression raises the floor
+/// itself and still trips the bar. The caller prints the failures and exits
+/// non-zero after the snapshot is written, which `ci.sh` (`set -e`)
+/// escalates into a hard CI failure — a decode-path regression can no
+/// longer land behind a warning nobody reads. Minimal text scan, no JSON
+/// parser: the snapshot format is the one this binary writes.
+fn decode_step_regressions(fresh: &[(usize, f64, f64)], out_path: &str) -> Vec<String> {
+    /// Allowed slowdown of the fresh floor over the committed median before
+    /// the gate fails. The shared 1-core box's *own* speed (frequency /
+    /// cache state) drifts ~±10–15% between runs even with the min-sample
+    /// trick, so a tight bar would flake on unchanged code; 25% sits safely
+    /// above machine drift and far below any regression worth catching
+    /// (kernel-level wins/losses on this path run 1.2×–2.3×).
+    const REGRESSION_SLACK: f64 = 1.25;
+    let mut failures = Vec::new();
+    let Some(baseline_path) = latest_committed_snapshot(out_path) else {
+        println!("(no committed BENCH_PR*.json found; skipping decode-step regression check)");
+        return failures;
+    };
+    let Ok(text) = std::fs::read_to_string(&baseline_path) else {
+        return failures;
     };
     let Some(start) = text.find("\"decode_step\"") else {
-        return;
+        return failures;
     };
     let section = &text[start
         ..text[start..]
             .find("\"decode_profile\"")
             .map_or(text.len(), |e| start + e)];
-    for &(ctx, fresh_ms) in fresh {
+    for &(ctx, fresh_median_ms, fresh_min_ms) in fresh {
         let Some(at) = section.find(&format!("\"ctx\": {ctx},")) else {
             continue;
         };
@@ -110,14 +178,16 @@ fn warn_decode_step_regressions(fresh: &[(usize, f64)]) {
         let Ok(baseline_ms) = rest[..end].parse::<f64>() else {
             continue;
         };
-        if fresh_ms > baseline_ms * 1.10 {
-            println!(
-                "WARNING: decode_step ctx {ctx} fused median {fresh_ms:.4} ms is \
-                 {:.1}% slower than BENCH_PR5.json ({baseline_ms:.4} ms)",
-                (fresh_ms / baseline_ms - 1.0) * 100.0
-            );
+        if fresh_min_ms > baseline_ms * REGRESSION_SLACK {
+            failures.push(format!(
+                "decode_step ctx {ctx} fused min {fresh_min_ms:.4} ms \
+                 (median {fresh_median_ms:.4} ms) is {:.1}% slower than the \
+                 {baseline_path} median ({baseline_ms:.4} ms)",
+                (fresh_min_ms / baseline_ms - 1.0) * 100.0
+            ));
         }
     }
+    failures
 }
 
 /// Nearest-rank percentile on a sorted sample.
@@ -148,7 +218,7 @@ impl Harness {
 }
 
 fn main() {
-    let mut out_path = "BENCH_PR6.json".to_string();
+    let mut out_path = "BENCH_PR7.json".to_string();
     let mut smoke = false;
     for arg in std::env::args().skip(1) {
         if arg == "--smoke" {
@@ -167,7 +237,7 @@ fn main() {
     sections.push(json::field(
         "meta",
         &json::object(&[
-            json::field("snapshot", &json::string("PR6")),
+            json::field("snapshot", &json::string("PR7")),
             json::field("smoke", if smoke { "true" } else { "false" }),
             json::field("hardware_threads", &hardware_threads().to_string()),
             json::field("kernel_backend", &json::string(backend().name())),
@@ -233,7 +303,7 @@ fn main() {
     let mut ws = Workspace::new();
     let mut step_logits = vec![0.0f32; vocab];
     let mut decode_items = Vec::new();
-    let mut fused_medians: Vec<(usize, f64)> = Vec::new();
+    let mut fused_steps: Vec<(usize, f64, f64)> = Vec::new();
     for ctx in [16usize, 64, 256, 512] {
         let prompt: Vec<u32> = (0..ctx).map(|_| rng.below(vocab) as u32).collect();
         let mut cache = target.new_cache();
@@ -248,7 +318,7 @@ fn main() {
         });
         report(&fused);
         report(&alloc);
-        fused_medians.push((ctx, fused.median_ns / 1e6));
+        fused_steps.push((ctx, fused.median_ns / 1e6, fused.min_ns / 1e6));
         decode_items.push(json::object(&[
             json::field("ctx", &ctx.to_string()),
             json::field("step", &result_json(&fused)),
@@ -260,9 +330,11 @@ fn main() {
         ]));
     }
     sections.push(json::field("decode_step", &json::array(&decode_items)));
-    if smoke {
-        warn_decode_step_regressions(&fused_medians);
-    }
+    let regressions = if smoke {
+        decode_step_regressions(&fused_steps, &out_path)
+    } else {
+        Vec::new()
+    };
 
     // ---- per-op profile of a ctx-512 decode step ------------------------
     println!("\n== decode step per-op profile (ctx 512) ==");
@@ -463,6 +535,134 @@ fn main() {
                     "fused pending-token-fold loop vs fused autoregressive loop, \
                      same target; aligned = draft distilled against the target \
                      (self-data KL, temperature 0.15) before the race",
+                ),
+            ),
+        ]),
+    ));
+
+    // ---- adaptive gamma: mixed-alpha burst, per-session depth control ---
+    //
+    // One serving population rarely has one α: some requests draft well
+    // (aligned draft), some draft hopelessly. A burst alternates between
+    // the distilled draft (high α) and the untrained one (α ≈ 0); a fixed
+    // γ must pick one depth for both halves, while the adaptive controller
+    // retunes each session from its own acceptance history. Scoring uses
+    // the clock-free pass-count efficiency
+    //   tokens / (target_passes + c · draft_passes)
+    // with c the parameter-count cost ratio, so the comparison is
+    // deterministic across hosts; losslessness is asserted against the
+    // fused AR loop for every request under every policy.
+    println!("\n== adaptive gamma: mixed-alpha burst ==");
+    let cost_ratio = untrained.n_params() as f64 / e2e_target.n_params() as f64;
+    let burst_budget = if h.smoke { 48 } else { 128 };
+    let burst_prompts: Vec<Vec<u32>> = (0..6)
+        .map(|i| {
+            let mut r = Rng::new(0xB0 + i as u64);
+            (0..8).map(|_| r.below(e2e_vocab) as u32).collect()
+        })
+        .collect();
+    let burst_refs: Vec<Vec<u32>> = burst_prompts
+        .iter()
+        .map(|p| autoregressive_greedy_with_budget_ws(&e2e_target, p, burst_budget, &mut ws))
+        .collect();
+    let run_burst = |gamma0: usize, adaptive: bool, ws: &mut Workspace| -> SpecStats {
+        let mut merged = SpecStats::default();
+        for (i, prompt) in burst_prompts.iter().enumerate() {
+            let draft = if i % 2 == 0 { &aligned } else { &untrained };
+            let mut t_cache = e2e_target.new_cache();
+            let mut d_cache = draft.new_cache();
+            let vocab = e2e_target.cfg.vocab;
+            let mut logits = ws.take(prompt.len() * vocab);
+            e2e_target.forward_infer_ws(prompt, &mut t_cache, ws, &mut logits);
+            let pending = argmax(&logits[(prompt.len() - 1) * vocab..]) as u32;
+            ws.give(logits);
+            let mut d_logits = ws.take(prompt.len() * vocab);
+            draft.forward_infer_ws(prompt, &mut d_cache, ws, &mut d_logits);
+            ws.give(d_logits);
+            let mut session = SpecSession::new(
+                &e2e_target,
+                draft,
+                &t_cache,
+                &d_cache,
+                pending,
+                burst_budget,
+                gamma0,
+            );
+            if adaptive {
+                session.enable_adaptive_gamma(AdaptiveGamma::new(cost_ratio));
+            }
+            loop {
+                let report = session.step_block(&e2e_target, draft, &mut t_cache, &mut d_cache, ws);
+                if report.done {
+                    break;
+                }
+            }
+            let (tokens, stats) = session.into_parts();
+            assert_eq!(
+                tokens, burst_refs[i],
+                "losslessness violated (adaptive={adaptive}, gamma0={gamma0}, request {i})"
+            );
+            merged.merge(&stats);
+        }
+        merged
+    };
+    let efficiency =
+        |s: &SpecStats| s.generated as f64 / (s.blocks as f64 + cost_ratio * s.drafted as f64);
+    let mut adaptive_rows = Vec::new();
+    let mut best_fixed = f64::NEG_INFINITY;
+    for &g in &[1usize, 2, 3, 5, 8] {
+        let stats = run_burst(g, false, &mut ws);
+        let eff = efficiency(&stats);
+        best_fixed = best_fixed.max(eff);
+        println!(
+            "fixed γ={g}:  α={:.3}  τ={:.3}  efficiency={eff:.3}",
+            stats.acceptance_rate(),
+            stats.block_efficiency()
+        );
+        adaptive_rows.push(json::object(&[
+            json::field("policy", &json::string(&format!("fixed_{g}"))),
+            json::field("acceptance_rate", &json::num(stats.acceptance_rate())),
+            json::field("block_efficiency", &json::num(stats.block_efficiency())),
+            json::field("efficiency", &json::num(eff)),
+        ]));
+    }
+    let stats = run_burst(3, true, &mut ws);
+    let adaptive_eff = efficiency(&stats);
+    println!(
+        "adaptive:   α={:.3}  τ={:.3}  efficiency={adaptive_eff:.3}  (best fixed {best_fixed:.3})",
+        stats.acceptance_rate(),
+        stats.block_efficiency()
+    );
+    adaptive_rows.push(json::object(&[
+        json::field("policy", &json::string("adaptive")),
+        json::field("acceptance_rate", &json::num(stats.acceptance_rate())),
+        json::field("block_efficiency", &json::num(stats.block_efficiency())),
+        json::field("efficiency", &json::num(adaptive_eff)),
+    ]));
+    assert!(
+        adaptive_eff >= best_fixed * 0.98,
+        "adaptive gamma efficiency {adaptive_eff:.3} fell behind best fixed {best_fixed:.3}"
+    );
+    sections.push(json::field(
+        "adaptive_gamma",
+        &json::object(&[
+            json::field("requests", &burst_prompts.len().to_string()),
+            json::field("new_tokens_each", &burst_budget.to_string()),
+            json::field("cost_ratio", &json::num(cost_ratio)),
+            json::field("best_fixed_efficiency", &json::num(best_fixed)),
+            json::field("adaptive_efficiency", &json::num(adaptive_eff)),
+            json::field(
+                "adaptive_vs_best_fixed",
+                &json::num(adaptive_eff / best_fixed),
+            ),
+            json::field("rows", &json::array(&adaptive_rows)),
+            json::field(
+                "note",
+                &json::string(
+                    "mixed-alpha burst: even requests draft with the distilled model, \
+                     odd with the untrained one; efficiency = tokens / (target_passes \
+                     + cost_ratio * draft_passes); every run asserted token-identical \
+                     to the fused AR loop",
                 ),
             ),
         ]),
@@ -988,6 +1188,149 @@ fn main() {
         ]),
     ));
 
+    // ---- paged KV pool: capacity multiplier + decode-step parity --------
+    //
+    // The serving engine no longer gives every slot a max_seq-sized cache
+    // pair: sessions lease exactly the blocks their prompt + budget needs
+    // from one pre-allocated arena. Three measurements: (a) how many
+    // short-request leases the PR5-sized arena (4 slots × max_seq 1024)
+    // holds concurrently, (b) the lease/release cycle cost, and (c) the
+    // decode-step cost on a paged cache vs a contiguous one — with the
+    // step logits asserted bit-identical, which the chunk-invariant
+    // attention kernels guarantee by construction.
+    println!("\n== paged KV pool (block leases vs slot-owned caches) ==");
+    let pool_bs = 16usize;
+    let pr5_slots = 4usize;
+    let pool = KvPool::new(
+        target.cfg.n_layers,
+        target.cfg.dim,
+        pool_bs,
+        pr5_slots * target.cfg.max_seq / pool_bs,
+    );
+    let short_lease = 128usize; // a prompt-64 / budget-65 session's lease
+    let mut held = Vec::new();
+    while let Some(c) = pool.try_lease(short_lease) {
+        held.push(c);
+    }
+    let concurrent = held.len();
+    drop(held);
+    let multiplier = concurrent as f64 / pr5_slots as f64;
+    println!(
+        "arena of {pr5_slots} x max_seq {} holds {concurrent} concurrent \
+         {short_lease}-position leases ({multiplier:.1}x the slot-owned count)",
+        target.cfg.max_seq
+    );
+    let lease_cycle = h.bench("paged_pool/lease_release_cycle", || {
+        let c = pool.try_lease(short_lease).unwrap();
+        c.capacity()
+    });
+    report(&lease_cycle);
+
+    let step_ctx = 512usize;
+    let step_prompt: Vec<u32> = (0..step_ctx).map(|_| rng.below(vocab) as u32).collect();
+    let mut paged = pool.try_lease(step_ctx + 8).unwrap();
+    let mut flat = target.new_cache();
+    let mut prefill_logits = ws.take(step_ctx * vocab);
+    target.forward_infer_ws(&step_prompt, &mut paged, &mut ws, &mut prefill_logits);
+    target.forward_infer_ws(&step_prompt, &mut flat, &mut ws, &mut prefill_logits);
+    ws.give(prefill_logits);
+    let mut paged_logits = vec![0.0f32; vocab];
+    let mut flat_logits = vec![0.0f32; vocab];
+    let paged_step = h.bench(&format!("paged_pool/step_paged/ctx_{step_ctx}"), || {
+        paged.truncate(step_ctx);
+        target.forward_infer_ws(&[7], &mut paged, &mut ws, &mut paged_logits);
+    });
+    let flat_step = h.bench(&format!("paged_pool/step_flat/ctx_{step_ctx}"), || {
+        flat.truncate(step_ctx);
+        target.forward_infer_ws(&[7], &mut flat, &mut ws, &mut flat_logits);
+    });
+    report(&paged_step);
+    report(&flat_step);
+    assert_eq!(
+        paged_logits.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        flat_logits.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+        "paged decode step must be bit-identical to contiguous"
+    );
+    drop(paged);
+    sections.push(json::field(
+        "paged_pool",
+        &json::object(&[
+            json::field("block_size", &pool_bs.to_string()),
+            json::field(
+                "arena_positions",
+                &(pr5_slots * target.cfg.max_seq).to_string(),
+            ),
+            json::field("short_lease_positions", &short_lease.to_string()),
+            json::field("concurrent_short_leases", &concurrent.to_string()),
+            json::field("capacity_multiplier_vs_pr5_slots", &json::num(multiplier)),
+            json::field("lease_release_cycle", &result_json(&lease_cycle)),
+            json::field("step_paged", &result_json(&paged_step)),
+            json::field("step_flat", &result_json(&flat_step)),
+            json::field(
+                "paged_overhead",
+                &json::num(paged_step.median_ns / flat_step.median_ns),
+            ),
+            json::field("step_bit_identical", "true"),
+        ]),
+    ));
+
+    // ---- vision cache: shared-prefix hit vs full vision prefill ---------
+    //
+    // The serving engine keys cached vision KV prefixes by image content
+    // hash; a hit leases the session cache on top of the cached blocks
+    // (full blocks shared copy-on-write) instead of re-running the tower,
+    // connector, and embeds pass. This races the two paths directly.
+    println!("\n== vision cache: shared-prefix hit vs full vision prefill ==");
+    let vcfg = LlavaSimConfig::sim_7b(256, 512);
+    let vmodel = LlavaSim::new(vcfg.clone(), 0xB0);
+    let v_n_img = vmodel.n_img();
+    let vpool = KvPool::new(vcfg.lm.n_layers, vcfg.lm.dim, pool_bs, 64);
+    let vimg = Image::synthetic(
+        &mut Rng::new(42),
+        vcfg.vision.n_patches,
+        vcfg.vision.patch_dim,
+    );
+    let miss = h.bench("vision_cache/miss_vision_leg", || {
+        let mut c = vpool.try_lease(v_n_img).unwrap();
+        vmodel.prefill_vision_ws(&vimg, &mut c, &mut ws);
+        c.len()
+    });
+    let mut cached_prefix = vpool.try_lease(v_n_img).unwrap();
+    vmodel.prefill_vision_ws(&vimg, &mut cached_prefix, &mut ws);
+    let hit = h.bench("vision_cache/hit_vision_leg", || {
+        let c = vpool
+            .try_lease_with_prefix(&cached_prefix, v_n_img + 64)
+            .unwrap();
+        c.len()
+    });
+    report(&miss);
+    report(&hit);
+    println!(
+        "vision-leg hit is {:.0}x cheaper than the full prefill",
+        miss.median_ns / hit.median_ns
+    );
+    sections.push(json::field(
+        "vision_cache",
+        &json::object(&[
+            json::field("n_img", &v_n_img.to_string()),
+            json::field("miss_vision_leg", &result_json(&miss)),
+            json::field("hit_vision_leg", &result_json(&hit)),
+            json::field(
+                "speedup_hit_vs_miss",
+                &json::num(miss.median_ns / hit.median_ns),
+            ),
+            json::field(
+                "note",
+                &json::string(
+                    "miss = vision tower + connector + n_img-position embeds pass \
+                     into a fresh lease; hit = copy-on-write lease on top of the \
+                     cached prefix blocks (what the serving engine does per \
+                     repeated image); the hit leg never touches the ViT",
+                ),
+            ),
+        ]),
+    ));
+
     // ---- training: one KL-distillation step on the draft ---------------
     println!("\n== distillation step (forward_train + backward + Adam) ==");
     let mut student = Decoder::new(DecoderConfig::bench_draft(vocab, 512), 0x7);
@@ -1018,4 +1361,10 @@ fn main() {
     let doc = json::object(&sections);
     std::fs::write(&out_path, format!("{doc}\n")).expect("write snapshot");
     println!("\nwrote {out_path}");
+    if !regressions.is_empty() {
+        for r in &regressions {
+            println!("REGRESSION: {r}");
+        }
+        std::process::exit(1);
+    }
 }

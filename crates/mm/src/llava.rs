@@ -170,18 +170,36 @@ impl LlavaSim {
         cache: &mut KvCache,
         ws: &mut Workspace,
     ) -> u32 {
-        assert!(!prompt.is_empty(), "empty prompt");
-        let n = self.n_img();
-        let vocab = self.cfg.lm.vocab;
         assert!(
-            n + prompt.len() <= self.cfg.lm.max_seq,
+            self.n_img() + prompt.len() <= self.cfg.lm.max_seq,
             "vision prefix + prompt exceed max_seq"
         );
+        self.prefill_vision_ws(image, cache, ws);
+        self.prefill_text_ws(prompt, cache, ws)
+    }
+
+    /// The vision leg of [`LlavaSim::prefill_ws`] alone: tower + connector +
+    /// the `n_img`-position embeds pass into an **empty** cache. Split out
+    /// so the serving vision cache can run it once per distinct image and
+    /// share the resulting KV prefix across sessions.
+    pub fn prefill_vision_ws(&self, image: &Image, cache: &mut KvCache, ws: &mut Workspace) {
+        assert!(cache.is_empty(), "vision prefix must be at position 0");
+        let n = self.n_img();
         let embeds = self.encode_image(image);
-        let mut img_logits = ws.take(n * vocab);
+        let mut img_logits = ws.take(n * self.cfg.lm.vocab);
         self.lm
             .forward_infer_embeds_ws(&embeds.data, n, cache, ws, &mut img_logits);
         ws.give(img_logits);
+    }
+
+    /// The text leg of [`LlavaSim::prefill_ws`] alone: prompt forward over a
+    /// cache already holding the `n_img` vision positions (freshly computed
+    /// or mapped in from the vision cache — the two are bit-identical), and
+    /// the first target-decided pending token.
+    pub fn prefill_text_ws(&self, prompt: &[u32], cache: &mut KvCache, ws: &mut Workspace) -> u32 {
+        assert!(!prompt.is_empty(), "empty prompt");
+        assert_eq!(cache.len(), self.n_img(), "text must start at n_img");
+        let vocab = self.cfg.lm.vocab;
         let mut logits = ws.take(prompt.len() * vocab);
         self.lm.forward_infer_ws(prompt, cache, ws, &mut logits);
         let pending = argmax(&logits[(prompt.len() - 1) * vocab..]) as u32;

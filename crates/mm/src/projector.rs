@@ -87,11 +87,15 @@ impl KvProjector {
     /// Project target layer `map[l]`'s vision KV for draft layer `l`:
     /// returns `(keys, values)`, each `[k_slots, dim]` row-major.
     pub fn project(&self, t_cache: &KvCache, l: usize) -> (Tensor, Tensor) {
-        let src = &t_cache.layers[self.map[l]];
+        let src = t_cache.layer(self.map[l]);
         assert!(src.len() >= self.n_img, "target cache lacks vision prefix");
-        let dim = src.key(0).len();
-        let kvis = Tensor::from_vec(src.keys()[..self.n_img * dim].to_vec(), self.n_img, dim);
-        let vvis = Tensor::from_vec(src.values()[..self.n_img * dim].to_vec(), self.n_img, dim);
+        let dim = t_cache.dim();
+        let mut kvis = Tensor::zeros(self.n_img, dim);
+        let mut vvis = Tensor::zeros(self.n_img, dim);
+        for pos in 0..self.n_img {
+            kvis.row_mut(pos).copy_from_slice(src.key(pos));
+            vvis.row_mut(pos).copy_from_slice(src.value(pos));
+        }
         (self.wk[l].matmul(&kvis), self.wv[l].matmul(&vvis))
     }
 
@@ -101,11 +105,12 @@ impl KvProjector {
     /// `k_slots..`, exactly as the training-time graph ropes them.
     pub fn seed_draft_cache(&self, t_cache: &KvCache, d_cache: &mut KvCache) {
         assert!(d_cache.is_empty(), "draft cache must be empty to seed");
-        assert_eq!(d_cache.layers.len(), self.wk.len(), "draft layer count");
-        for l in 0..d_cache.layers.len() {
+        assert_eq!(d_cache.n_layers(), self.wk.len(), "draft layer count");
+        for l in 0..d_cache.n_layers() {
             let (pk, pv) = self.project(t_cache, l);
+            let mut layer = d_cache.layer_mut(l);
             for r in 0..self.k_slots {
-                d_cache.layers[l].append(pk.row(r), pv.row(r));
+                layer.append(pk.row(r), pv.row(r));
             }
         }
     }
@@ -131,12 +136,13 @@ impl KvProjector {
 /// `n_img..`, which coincides with the target's own text offset.
 pub fn seed_raw_vision(t_cache: &KvCache, d_cache: &mut KvCache, n_img: usize) {
     assert!(d_cache.is_empty(), "draft cache must be empty to seed");
-    let map = layer_map(d_cache.layers.len(), t_cache.layers.len());
+    let map = layer_map(d_cache.n_layers(), t_cache.n_layers());
     for (l, &src_l) in map.iter().enumerate() {
-        let src = &t_cache.layers[src_l];
+        let src = t_cache.layer(src_l);
         assert!(src.len() >= n_img, "target cache lacks vision prefix");
+        let mut dst = d_cache.layer_mut(l);
         for pos in 0..n_img {
-            d_cache.layers[l].append(src.key(pos), src.value(pos));
+            dst.append(src.key(pos), src.value(pos));
         }
     }
 }
@@ -202,12 +208,13 @@ mod tests {
         let mut b = draft.new_cache();
         seed_raw_vision(&t_cache, &mut b, n_img);
         assert_eq!(a.len(), b.len());
-        for l in 0..a.layers.len() {
+        for l in 0..a.n_layers() {
             for pos in 0..n_img {
-                let dk: f32 = a.layers[l]
+                let dk: f32 = a
+                    .layer(l)
                     .key(pos)
                     .iter()
-                    .zip(b.layers[l].key(pos))
+                    .zip(b.layer(l).key(pos))
                     .map(|(x, y)| (x - y).abs())
                     .fold(0.0, f32::max);
                 assert!(dk < 1e-5, "layer {l} pos {pos} key diff {dk}");

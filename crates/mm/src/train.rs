@@ -40,13 +40,16 @@ enum PrefixRows {
 
 /// Extract target layer `src`'s vision KV slice as `[n_img, dim]` tensors.
 fn vision_slice(t_cache: &KvCache, src: usize, n_img: usize) -> (Tensor, Tensor) {
-    let layer = &t_cache.layers[src];
+    let layer = t_cache.layer(src);
     assert!(layer.len() >= n_img, "target cache lacks vision prefix");
-    let dim = layer.key(0).len();
-    (
-        Tensor::from_vec(layer.keys()[..n_img * dim].to_vec(), n_img, dim),
-        Tensor::from_vec(layer.values()[..n_img * dim].to_vec(), n_img, dim),
-    )
+    let dim = t_cache.dim();
+    let mut k = Tensor::zeros(n_img, dim);
+    let mut v = Tensor::zeros(n_img, dim);
+    for pos in 0..n_img {
+        k.row_mut(pos).copy_from_slice(layer.key(pos));
+        v.row_mut(pos).copy_from_slice(layer.value(pos));
+    }
+    (k, v)
 }
 
 /// Build the hybrid-cache student forward on `tape`: the draft decoder over
@@ -158,7 +161,7 @@ fn prefix_rows_for(
             .collect();
         (proj.k_slots, PrefixRows::Projected(slices))
     } else {
-        let map = crate::projector::layer_map(draft_layers, t_cache.layers.len());
+        let map = crate::projector::layer_map(draft_layers, t_cache.n_layers());
         let rows = map
             .iter()
             .map(|&src| vision_slice(t_cache, src, n_img))

@@ -44,6 +44,26 @@ impl Image {
         }
         Self { patches }
     }
+
+    /// Content hash over the raw patch bits (FNV-1a over each `f32`'s bit
+    /// pattern, shape-salted). Two images hash equal iff their patch
+    /// tensors are bit-identical — exactly the condition under which a
+    /// cached vision prefill is reusable, since the whole vision tower is
+    /// a deterministic function of the patch bits. The serving vision
+    /// cache keys on this.
+    pub fn content_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        mix(self.patches.rows as u64);
+        mix(self.patches.cols as u64);
+        for &v in &self.patches.data {
+            mix(v.to_bits() as u64);
+        }
+        h
+    }
 }
 
 /// Hyperparameters for the vision tower.

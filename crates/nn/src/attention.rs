@@ -12,7 +12,7 @@
 //!   explicit causal mask, and never touches a cache. Kept as the semantic
 //!   oracle the incremental path is property-tested against.
 
-use crate::cache::LayerKv;
+use crate::cache::KvLayerMut;
 use crate::layers::Linear;
 use crate::rope::Rope;
 use aasd_tensor::simd::{attn_mix_with, attn_scores_with, softmax_row_with};
@@ -49,7 +49,7 @@ impl Attention {
     /// absolute positions start at `cache.len()`; K/V for the block are
     /// appended to `cache` and each query attends causally over everything
     /// cached so far (prefix + earlier rows of this block).
-    pub fn forward_infer(&self, x: &Tensor, rope: &Rope, cache: &mut LayerKv) -> Tensor {
+    pub fn forward_infer(&self, x: &Tensor, rope: &Rope, mut cache: KvLayerMut<'_>) -> Tensor {
         let t = x.rows;
         let dim = x.cols;
         let pos0 = cache.len();
@@ -103,7 +103,7 @@ impl Attention {
         norm_x: &[f32],
         t: usize,
         rope: &Rope,
-        cache: &mut LayerKv,
+        mut cache: KvLayerMut<'_>,
         ws: &mut Workspace,
         resid: &mut [f32],
     ) {
@@ -136,12 +136,13 @@ impl Attention {
         let scale = self.scale();
         let mut ctx = ws.take(t * dim);
         let mut scores = ws.take(cache.capacity());
-        // One batched-kernel call per head instead of one `dot`/`axpy` call
-        // per cached position: the whole position loop runs inside a single
-        // SIMD dispatch (see `attn_scores_with`/`attn_mix_with`), which is
-        // bit-identical per tier to the per-position loop it replaced.
-        let keys = cache.keys();
-        let values = cache.values();
+        // One batched-kernel call per head **per cache block** instead of one
+        // `dot`/`axpy` call per cached position. `attn_scores_with` computes
+        // each position's score as an independent dot and `attn_mix_with`
+        // accumulates element-wise in strict position order on every dispatch
+        // tier, so splitting the position sweep at block boundaries is
+        // bit-identical to one contiguous call — the paged cache costs
+        // nothing numerically (a standalone cache is one block anyway).
         for i in 0..t {
             let ctx_len = pos0 + i + 1; // causal: positions 0..=pos0+i
             for h in 0..self.n_heads {
@@ -149,12 +150,31 @@ impl Attention {
                 let q_head = &q[i * dim..][hs.clone()];
                 let span = ws.prof.begin();
                 let scores = &mut scores[..ctx_len];
-                attn_scores_with(bk, scores, q_head, &keys[hs.start..], dim, scale);
+                for (start, keys, _values) in cache.chunks(ctx_len) {
+                    let filled = keys.len() / dim;
+                    attn_scores_with(
+                        bk,
+                        &mut scores[start..start + filled],
+                        q_head,
+                        &keys[hs.start..],
+                        dim,
+                        scale,
+                    );
+                }
                 softmax_row_with(bk, scores);
                 ws.prof.end(span, Op::AttnScore);
                 let span = ws.prof.begin();
                 let out_head = &mut ctx[i * dim..][hs.clone()];
-                attn_mix_with(bk, out_head, scores, &values[hs.start..], dim);
+                for (start, _keys, values) in cache.chunks(ctx_len) {
+                    let filled = values.len() / dim;
+                    attn_mix_with(
+                        bk,
+                        out_head,
+                        &scores[start..start + filled],
+                        &values[hs.start..],
+                        dim,
+                    );
+                }
                 ws.prof.end(span, Op::AttnMix);
             }
         }
@@ -225,6 +245,7 @@ impl Attention {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::{KvCache, KvPool};
 
     fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
         a.iter()
@@ -247,12 +268,12 @@ mod tests {
 
         for splits in [vec![t], vec![1; t], vec![5, 1, 4, 3]] {
             assert_eq!(splits.iter().sum::<usize>(), t);
-            let mut cache = LayerKv::new(64, dim);
+            let mut cache = KvCache::new(1, 64, dim);
             let mut got = Vec::new();
             let mut at = 0;
             for blk in splits {
                 let xs = Tensor::from_vec(x.data[at * dim..(at + blk) * dim].to_vec(), blk, dim);
-                let y = attn.forward_infer(&xs, &rope, &mut cache);
+                let y = attn.forward_infer(&xs, &rope, cache.layer_mut(0));
                 got.extend_from_slice(&y.data);
                 at += blk;
             }
@@ -277,19 +298,26 @@ mod tests {
 
         let mut ws = Workspace::new();
         for splits in [vec![t], vec![1; t], vec![5, 1, 4, 3]] {
-            let mut cache_a = LayerKv::new(64, dim);
-            let mut cache_b = LayerKv::new(64, dim);
+            let mut cache_a = KvCache::new(1, 64, dim);
+            let mut cache_b = KvCache::new(1, 64, dim);
             let mut at = 0;
             for blk in splits {
                 let xs = Tensor::from_vec(x.data[at * dim..(at + blk) * dim].to_vec(), blk, dim);
-                let y = attn.forward_infer(&xs, &rope, &mut cache_a);
+                let y = attn.forward_infer(&xs, &rope, cache_a.layer_mut(0));
                 let mut want = resid0.data[at * dim..(at + blk) * dim].to_vec();
                 for (w, p) in want.iter_mut().zip(&y.data) {
                     *w += p;
                 }
 
                 let mut got = resid0.data[at * dim..(at + blk) * dim].to_vec();
-                attn.forward_infer_ws(&xs.data, blk, &rope, &mut cache_b, &mut ws, &mut got);
+                attn.forward_infer_ws(
+                    &xs.data,
+                    blk,
+                    &rope,
+                    cache_b.layer_mut(0),
+                    &mut ws,
+                    &mut got,
+                );
                 assert!(
                     max_abs_diff(&got, &want) < 1e-4,
                     "fused attention diverged at block offset {at}"
@@ -299,12 +327,12 @@ mod tests {
         }
 
         // Steady state: decoding one token at a time must not grow the pool.
-        let mut cache = LayerKv::new(64, dim);
+        let mut cache = KvCache::new(1, 64, dim);
         let mut resid = vec![0.0f32; dim];
-        attn.forward_infer_ws(x.row(0), 1, &rope, &mut cache, &mut ws, &mut resid);
+        attn.forward_infer_ws(x.row(0), 1, &rope, cache.layer_mut(0), &mut ws, &mut resid);
         let after_warmup = ws.fresh_allocs();
         for i in 1..t {
-            attn.forward_infer_ws(x.row(i), 1, &rope, &mut cache, &mut ws, &mut resid);
+            attn.forward_infer_ws(x.row(i), 1, &rope, cache.layer_mut(0), &mut ws, &mut resid);
         }
         assert_eq!(ws.fresh_allocs(), after_warmup, "steady state allocated");
     }
@@ -328,5 +356,33 @@ mod tests {
             assert!(max_abs_diff(y1.row(i), y2.row(i)) < 1e-6, "row {i} leaked");
         }
         assert!(max_abs_diff(y1.row(t - 1), y2.row(t - 1)) > 1e-3);
+    }
+
+    /// Paging must cost nothing numerically: the same sequence decoded into
+    /// a single-block cache and into a 4-position-block paged lease must
+    /// produce **bit-identical** outputs, because the chunked kernel sweeps
+    /// are exact splits of the contiguous ones.
+    #[test]
+    fn paged_cache_attention_is_bit_identical_to_contiguous() {
+        let mut rng = Rng::new(7);
+        let (dim, heads, t) = (32, 4, 13);
+        let attn = Attention::new(&mut rng, dim, heads);
+        let rope = Rope::new(64, dim / heads, 10_000.0);
+        let x = Tensor::randn(&mut rng, t, dim, 1.0);
+
+        let mut ws = Workspace::new();
+        let mut contiguous = KvCache::new(1, 64, dim);
+        let pool = KvPool::new(1, dim, 4, 16);
+        let mut paged = pool.try_lease(64).unwrap();
+        assert!(paged.n_blocks() > 1, "lease must actually span blocks");
+        for i in 0..t {
+            let mut a = vec![0.0f32; dim];
+            let mut b = vec![0.0f32; dim];
+            attn.forward_infer_ws(x.row(i), 1, &rope, contiguous.layer_mut(0), &mut ws, &mut a);
+            attn.forward_infer_ws(x.row(i), 1, &rope, paged.layer_mut(0), &mut ws, &mut b);
+            let ab: Vec<u32> = a.iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ab, bb, "paged attention diverged at step {i}");
+        }
     }
 }

@@ -4,7 +4,7 @@
 //! (`forward_full`).
 
 use crate::attention::Attention;
-use crate::cache::{KvCache, LayerKv};
+use crate::cache::{KvCache, KvLayerMut};
 use crate::layers::{Embedding, Linear, RmsNorm};
 use crate::quant::KernelPolicy;
 use crate::rope::Rope;
@@ -134,7 +134,7 @@ impl DecoderBlock {
         }
     }
 
-    pub fn forward_infer(&self, x: &mut Tensor, rope: &Rope, cache: &mut LayerKv) {
+    pub fn forward_infer(&self, x: &mut Tensor, rope: &Rope, cache: KvLayerMut<'_>) {
         let a = self
             .attn
             .forward_infer(&self.attn_norm.forward(x), rope, cache);
@@ -158,7 +158,7 @@ impl DecoderBlock {
         x: &mut [f32],
         t: usize,
         rope: &Rope,
-        cache: &mut LayerKv,
+        cache: KvLayerMut<'_>,
         ws: &mut Workspace,
     ) {
         let dim = self.attn_norm.gain.len();
@@ -253,13 +253,13 @@ impl Decoder {
     pub fn forward_infer(&self, tokens: &[u32], cache: &mut KvCache) -> Tensor {
         assert!(!tokens.is_empty(), "empty token block");
         assert!(
-            cache.len() + tokens.len() <= self.cfg.max_seq,
-            "sequence exceeds max_seq = {}",
-            self.cfg.max_seq
+            cache.len() + tokens.len() <= self.cfg.max_seq.min(cache.capacity()),
+            "sequence exceeds cache capacity = {}",
+            self.cfg.max_seq.min(cache.capacity())
         );
         let mut x = self.embed.forward(tokens);
-        for (block, layer) in self.blocks.iter().zip(cache.layers.iter_mut()) {
-            block.forward_infer(&mut x, &self.rope, layer);
+        for (l, block) in self.blocks.iter().enumerate() {
+            block.forward_infer(&mut x, &self.rope, cache.layer_mut(l));
         }
         let x = self.final_norm.forward(&x);
         self.lm_head.forward(&x)
@@ -280,9 +280,9 @@ impl Decoder {
         let t = tokens.len();
         assert!(!tokens.is_empty(), "empty token block");
         assert!(
-            cache.len() + t <= self.cfg.max_seq,
-            "sequence exceeds max_seq = {}",
-            self.cfg.max_seq
+            cache.len() + t <= self.cfg.max_seq.min(cache.capacity()),
+            "sequence exceeds cache capacity = {}",
+            self.cfg.max_seq.min(cache.capacity())
         );
         assert_eq!(logits.len(), t * self.cfg.vocab);
 
@@ -311,9 +311,9 @@ impl Decoder {
         assert!(t > 0, "empty embedding block");
         assert_eq!(x.len(), t * self.cfg.dim);
         assert!(
-            cache.len() + t <= self.cfg.max_seq,
-            "sequence exceeds max_seq = {}",
-            self.cfg.max_seq
+            cache.len() + t <= self.cfg.max_seq.min(cache.capacity()),
+            "sequence exceeds cache capacity = {}",
+            self.cfg.max_seq.min(cache.capacity())
         );
         assert_eq!(logits.len(), t * self.cfg.vocab);
         let mut buf = ws.take(t * self.cfg.dim);
@@ -332,8 +332,8 @@ impl Decoder {
         ws: &mut Workspace,
         logits: &mut [f32],
     ) {
-        for (block, layer) in self.blocks.iter().zip(cache.layers.iter_mut()) {
-            block.forward_infer_ws(&mut x, t, &self.rope, layer, ws);
+        for (l, block) in self.blocks.iter().enumerate() {
+            block.forward_infer_ws(&mut x, t, &self.rope, cache.layer_mut(l), ws);
         }
 
         let mut xn = ws.take(t * self.cfg.dim);
@@ -356,13 +356,13 @@ impl Decoder {
         assert!(x.rows > 0, "empty embedding block");
         assert_eq!(x.cols, self.cfg.dim, "embedding width mismatch");
         assert!(
-            cache.len() + x.rows <= self.cfg.max_seq,
-            "sequence exceeds max_seq = {}",
-            self.cfg.max_seq
+            cache.len() + x.rows <= self.cfg.max_seq.min(cache.capacity()),
+            "sequence exceeds cache capacity = {}",
+            self.cfg.max_seq.min(cache.capacity())
         );
         let mut x = x.clone();
-        for (block, layer) in self.blocks.iter().zip(cache.layers.iter_mut()) {
-            block.forward_infer(&mut x, &self.rope, layer);
+        for (l, block) in self.blocks.iter().enumerate() {
+            block.forward_infer(&mut x, &self.rope, cache.layer_mut(l));
         }
         let x = self.final_norm.forward(&x);
         self.lm_head.forward(&x)

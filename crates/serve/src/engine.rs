@@ -1,30 +1,46 @@
-//! The serving engine: session slots, FIFO admission queue, and the
-//! block-granular continuous-batching scheduler.
+//! The serving engine: a block-paged KV pool, FIFO admission in units of
+//! free blocks, a shared-prefix vision cache, and the block-granular
+//! continuous-batching scheduler.
 //!
 //! ## Architecture
 //!
-//! * **Slots** — the engine owns `cfg.slots` long-lived [`Slot`]s, each with
-//!   its own target/draft [`KvCache`] pair and [`Workspace`], allocated once
-//!   at engine construction and *reset* (never reallocated) between
-//!   requests — `KvCache::reset` is the contract that makes a reused slot
-//!   compute exactly what a fresh one would.
-//! * **Queue** — admitted requests wait in a FIFO behind a small mutex.
-//!   Admission control is a hard cap (`cfg.max_queue`): a full queue rejects
-//!   instead of buffering unboundedly, so latency under overload degrades by
-//!   turning clients away, not by growing an invisible backlog.
-//! * **Scheduler** — [`Engine::tick`] is one scheduling round: free slots
-//!   are refilled from the queue (continuous batching — a finished session's
-//!   slot is reused on the very next round, mid-flight neighbours never
-//!   restart), then every active session advances **one speculative block**
-//!   (or one token for autoregressive sessions), round-robin across
-//!   `cfg.workers` scoped threads. Sessions are fully independent — each
-//!   owns its caches and scratch — so worker count changes wall-clock
-//!   interleaving but can never change any session's token stream (pinned by
-//!   the root determinism test).
+//! * **Paged KV pool** — the engine owns one pre-allocated
+//!   [`KvPool`](aasd_nn::KvPool) per model (target, draft). A session no
+//!   longer owns a `max_seq`-sized cache pair for its whole life: at
+//!   admission it leases exactly the blocks its `prompt + budget` needs
+//!   (`prefix + budget − 1` positions — the last emitted token is never fed
+//!   back), and the blocks return to the pool the moment it finishes. Short
+//!   requests stop paying for long-request memory, which is what lets the
+//!   same arena serve several times the old slot count (the pool test in
+//!   `aasd-nn` pins ≥ 4×).
+//! * **Admission** — requests wait in a FIFO behind a small mutex with a
+//!   hard cap (`cfg.max_queue`). A queue head only moves into a slot when
+//!   **both pools can lease its plan**; otherwise it waits head-of-line
+//!   (FIFO order is what makes served streams worker-count-independent),
+//!   evicting cold vision-cache entries first if those would free enough
+//!   blocks.
+//! * **Vision cache** — multimodal engines keep an LRU map from image
+//!   *content hash* to (a) the target's vision-prefix KV blocks and (b) the
+//!   draft's seeded vision rows. A hit leases the session's target cache
+//!   *on top of* the cached prefix (copy-on-write block sharing — full
+//!   blocks are shared zero-copy, a partial tail is copied) and skips the
+//!   vision tower, connector, and `KvProjector` entirely. Hit and miss
+//!   produce bit-identical session state, so caching can never change a
+//!   token stream, only its latency.
+//! * **Scheduler** — [`Engine::tick`] refills free slots from the queue,
+//!   then advances every active session one speculative block (or one AR
+//!   token), round-robin across `cfg.workers` scoped threads. Sessions own
+//!   their leases and scratch, so worker count changes interleaving but
+//!   never tokens (pinned by the root determinism test).
+//! * **Adaptive γ** — with `cfg.adaptive_gamma`, every speculative session
+//!   carries an [`AdaptiveGamma`] controller that re-picks its depth each
+//!   block from its own running acceptance rate. Greedy verification is
+//!   lossless under any γ schedule, so this moves α/τ and wall-clock only.
 //!
 //! Losslessness survives scheduling by construction: the per-block state
 //! machine a slot steps ([`SpecSession`]) is the *same* one the one-shot
-//! fused loops drive, so a served completion is token-identical to a
+//! fused loops drive, and its lease is sized so the capacity bound is
+//! exactly the budget bound — a served completion is token-identical to a
 //! single-request `speculative_greedy_seeded_ws` run with the same models
 //! and prompt.
 
@@ -33,9 +49,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use aasd_mm::{seed_draft_prefix, Ablation, Image, KvProjector, LlavaSim};
-use aasd_nn::{Decoder, KernelPolicy, KvCache};
-use aasd_specdec::{ArSession, SpecSession, MAX_GAMMA};
-use aasd_tensor::{argmax, Rng, Workspace};
+use aasd_nn::{Decoder, KernelPolicy, KvCache, KvPool};
+use aasd_specdec::{AdaptiveGamma, ArSession, SpecSession, MAX_GAMMA};
+use aasd_tensor::{argmax, Rng, Tensor, Workspace};
 
 use crate::metrics::Metrics;
 use crate::request::{DecodeMode, Request, RequestHandle, RequestId, Status};
@@ -72,12 +88,42 @@ impl EngineModel {
             EngineModel::Text { draft, .. } | EngineModel::Multimodal { draft, .. } => draft,
         }
     }
+
+    fn n_img(&self) -> usize {
+        match self {
+            EngineModel::Text { .. } => 0,
+            EngineModel::Multimodal { model, .. } => model.n_img(),
+        }
+    }
+
+    /// Vision-prefix rows the draft cache is seeded with, per ablation.
+    fn d_vision_prefix(&self) -> usize {
+        match self {
+            EngineModel::Text { .. } => 0,
+            EngineModel::Multimodal {
+                model,
+                projector,
+                ablation,
+                ..
+            } => {
+                if ablation.drop_vision_kv {
+                    0
+                } else if ablation.use_vision_projector {
+                    projector.k_slots
+                } else {
+                    model.n_img()
+                }
+            }
+        }
+    }
 }
 
 /// Scheduler/admission knobs.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Concurrent sessions (one KV-cache pair + workspace each).
+    /// Concurrent sessions the scheduler will step per tick. Memory no
+    /// longer scales with this alone — sessions lease KV blocks from the
+    /// shared pools, so many short requests fit where few long ones would.
     pub slots: usize,
     /// Worker threads a tick fans sessions across (`std::thread::scope`).
     /// 1 steps every session inline with zero spawn overhead.
@@ -92,6 +138,22 @@ pub struct EngineConfig {
     /// this declaration so a config typo cannot silently serve the wrong
     /// kernels.
     pub kernel_policy: KernelPolicy,
+    /// Positions per KV block in both pools.
+    pub block_size: usize,
+    /// Target-pool arena size in blocks; 0 = auto (`slots` full-length
+    /// sessions plus room for `vision_cache_entries` cached prefixes), which
+    /// reproduces the old slot-owns-its-cache memory envelope exactly.
+    pub t_pool_blocks: usize,
+    /// Draft-pool arena size in blocks; 0 = auto (as above).
+    pub d_pool_blocks: usize,
+    /// Max distinct images the shared-prefix vision cache retains (LRU
+    /// beyond that). 0 disables caching. Ignored by text engines.
+    pub vision_cache_entries: usize,
+    /// Retune each speculative session's γ per block from its running
+    /// acceptance rate ([`AdaptiveGamma`]); the request's γ seeds the
+    /// session but stops being a fixed depth. Off by default so existing
+    /// deployments keep byte-identical performance profiles.
+    pub adaptive_gamma: bool,
 }
 
 impl Default for EngineConfig {
@@ -101,6 +163,11 @@ impl Default for EngineConfig {
             workers: 1,
             max_queue: 64,
             kernel_policy: KernelPolicy::F32,
+            block_size: 16,
+            t_pool_blocks: 0,
+            d_pool_blocks: 0,
+            vision_cache_entries: 8,
+            adaptive_gamma: false,
         }
     }
 }
@@ -133,25 +200,46 @@ enum Phase {
     Ar(ArSession),
 }
 
+/// How the session's vision prefix gets into its target cache.
+enum VisionPlan {
+    /// Text engine: no vision leg.
+    None,
+    /// No cached prefix existed at admission: run the full vision prefill,
+    /// then (best-effort) populate the cache for future sessions.
+    Miss { image: Image, hash: u64 },
+    /// The session's target lease was built on the cached prefix blocks —
+    /// prefill skips the vision tower, connector, and projector.
+    Hit { hash: u64 },
+}
+
+/// An admitted request bound to its leased KV blocks.
 struct Active {
     handle: Arc<RequestHandle>,
     phase: Phase,
     /// Tokens already published to the handle (monotone cursor into the
     /// session's output).
     published: usize,
+    t_cache: KvCache,
+    /// Present for speculative sessions only.
+    d_cache: Option<KvCache>,
+    vision: VisionPlan,
 }
 
-/// One long-lived session slot: caches + scratch allocated once, reset per
-/// request.
+/// One scheduler slot: scratch allocated once; the KV leases travel with
+/// the [`Active`] session, not the slot.
 struct Slot {
-    t_cache: KvCache,
-    d_cache: KvCache,
     ws: Workspace,
     active: Option<Active>,
 }
 
+/// A request waiting for blocks: no leases held while queued.
+struct Queued {
+    handle: Arc<RequestHandle>,
+    req: Request,
+}
+
 struct QueueState {
-    queue: VecDeque<Active>,
+    queue: VecDeque<Queued>,
     next_id: RequestId,
     /// Every admitted request's handle, kept for the engine's lifetime so
     /// clients can poll by id after completion (the handle is a few dozen
@@ -160,11 +248,70 @@ struct QueueState {
     handles: HashMap<RequestId, Arc<RequestHandle>>,
 }
 
+/// One cached image: the target's vision-prefix blocks (shared CoW into
+/// sessions) and the draft's seeded vision rows (appended verbatim).
+struct VisionEntry {
+    t_prefix: KvCache,
+    /// Per draft layer: `(keys, values)`, each `[d_vision_prefix, dim]`.
+    /// `None` when the creating request was autoregressive (no draft rows
+    /// were computed); spec hits then fall back to re-seeding from the
+    /// shared target prefix.
+    d_seed: Option<Vec<(Tensor, Tensor)>>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct VisionCache {
+    entries: HashMap<u64, VisionEntry>,
+    clock: u64,
+}
+
+impl VisionCache {
+    /// Evict the least-recently-used entry, skipping `keep`. Returns false
+    /// if nothing was evictable.
+    fn evict_coldest(&mut self, keep: Option<u64>) -> bool {
+        let victim = self
+            .entries
+            .iter()
+            .filter(|(h, _)| Some(**h) != keep)
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(h, _)| *h);
+        match victim {
+            Some(h) => {
+                self.entries.remove(&h);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// The lease a request needs, computed from the request alone (before any
+/// forward runs) so admission can reason in blocks.
+struct LeasePlan {
+    /// Committed positions the target cache will hold after prefill.
+    t_prefix: usize,
+    /// Ditto for the draft (0 when no draft cache is needed).
+    d_prefix: usize,
+    /// Decode budget the session will be constructed with.
+    budget: usize,
+    /// Target lease capacity: `t_prefix + budget − 1` — the deepest the
+    /// cache can ever grow, because the final emitted token is never fed
+    /// back. With this exact capacity the session's per-block room bound
+    /// collapses onto its budget bound, so γ selection (and therefore the
+    /// stream AND the stats) match the one-shot loop on full-size caches.
+    t_capacity: usize,
+    d_capacity: Option<usize>,
+}
+
 /// The multi-session speculative-decoding engine.
 pub struct Engine {
     cfg: EngineConfig,
     model: EngineModel,
     metrics: Arc<Metrics>,
+    t_pool: KvPool,
+    d_pool: KvPool,
+    vision_cache: Mutex<VisionCache>,
     qstate: Mutex<QueueState>,
     /// Held for the whole of a tick; submit/poll/cancel never take it.
     slots: Mutex<Vec<Slot>>,
@@ -175,23 +322,46 @@ impl Engine {
     pub fn new(model: EngineModel, cfg: EngineConfig) -> Arc<Self> {
         assert!(cfg.slots >= 1, "engine needs at least one slot");
         assert!(cfg.workers >= 1, "engine needs at least one worker");
+        assert!(cfg.block_size >= 1, "block_size must be >= 1");
         assert_eq!(
             model.target_lm().kernel_policy(),
             cfg.kernel_policy,
             "target model kernel policy does not match the engine config"
         );
+        let bs = cfg.block_size;
+        let vision_blocks = if matches!(model, EngineModel::Multimodal { .. }) {
+            cfg.vision_cache_entries * model.n_img().div_ceil(bs).max(1)
+        } else {
+            0
+        };
+        let auto = |max_seq: usize| cfg.slots * max_seq.div_ceil(bs).max(1);
+        let t_blocks = if cfg.t_pool_blocks == 0 {
+            auto(model.target_lm().cfg.max_seq) + vision_blocks
+        } else {
+            cfg.t_pool_blocks
+        };
+        let d_blocks = if cfg.d_pool_blocks == 0 {
+            auto(model.draft().cfg.max_seq)
+        } else {
+            cfg.d_pool_blocks
+        };
+        let target = model.target_lm();
+        let draft = model.draft();
+        let t_pool = KvPool::new(target.cfg.n_layers, target.cfg.dim, bs, t_blocks);
+        let d_pool = KvPool::new(draft.cfg.n_layers, draft.cfg.dim, bs, d_blocks);
         let slots = (0..cfg.slots)
             .map(|_| Slot {
-                t_cache: model.target_lm().new_cache(),
-                d_cache: model.draft().new_cache(),
                 ws: Workspace::new(),
                 active: None,
             })
             .collect();
-        Arc::new(Self {
+        let engine = Arc::new(Self {
             cfg,
             model,
             metrics: Arc::new(Metrics::new()),
+            t_pool,
+            d_pool,
+            vision_cache: Mutex::new(VisionCache::default()),
             qstate: Mutex::new(QueueState {
                 queue: VecDeque::new(),
                 next_id: 1,
@@ -199,7 +369,16 @@ impl Engine {
             }),
             slots: Mutex::new(slots),
             work_cv: Condvar::new(),
-        })
+        });
+        engine
+            .metrics
+            .kv_free_blocks_target
+            .set(engine.t_pool.free_blocks() as u64);
+        engine
+            .metrics
+            .kv_free_blocks_draft
+            .set(engine.d_pool.free_blocks() as u64);
+        engine
     }
 
     pub fn metrics(&self) -> &Arc<Metrics> {
@@ -225,16 +404,53 @@ impl Engine {
         q.next_id += 1;
         let handle = Arc::new(RequestHandle::new(id));
         q.handles.insert(id, Arc::clone(&handle));
-        q.queue.push_back(Active {
+        q.queue.push_back(Queued {
             handle: Arc::clone(&handle),
-            phase: Phase::Prefill(req),
-            published: 0,
+            req,
         });
         self.metrics.requests_submitted.inc();
         self.metrics.queue_depth.set(q.queue.len() as u64);
         drop(q);
         self.work_cv.notify_all();
         Ok(handle)
+    }
+
+    /// Size the leases a request needs; assumes the request validated.
+    fn lease_plan(&self, req: &Request) -> LeasePlan {
+        let target = self.model.target_lm();
+        let draft = self.model.draft();
+        let t_prefix = self.model.n_img() + req.prompt.len();
+        match req.mode {
+            DecodeMode::Autoregressive => {
+                let budget = req.max_new.min(target.cfg.max_seq + 1 - t_prefix);
+                LeasePlan {
+                    t_prefix,
+                    d_prefix: 0,
+                    budget,
+                    t_capacity: t_prefix + budget - 1,
+                    d_capacity: None,
+                }
+            }
+            DecodeMode::Speculative { .. } => {
+                let drop_text = match &self.model {
+                    EngineModel::Text { .. } => false,
+                    EngineModel::Multimodal { ablation, .. } => ablation.drop_text_kv,
+                };
+                let d_prefix =
+                    self.model.d_vision_prefix() + if drop_text { 0 } else { req.prompt.len() };
+                let budget = req
+                    .max_new
+                    .min(target.cfg.max_seq + 1 - t_prefix)
+                    .min(draft.cfg.max_seq + 1 - d_prefix);
+                LeasePlan {
+                    t_prefix,
+                    d_prefix,
+                    budget,
+                    t_capacity: t_prefix + budget - 1,
+                    d_capacity: Some(d_prefix + budget - 1),
+                }
+            }
+        }
     }
 
     fn validate(&self, req: &Request) -> Result<(), String> {
@@ -254,7 +470,9 @@ impl Engine {
             return Err(format!("prompt token {t} outside vocab {vocab}"));
         }
         // The committed prefix the prompt occupies in each cache; every
-        // request must leave at least one token of decode room.
+        // request must leave at least one token of decode room. The draft
+        // bound stays conservative (full n_img prefix) so admission does
+        // not depend on the ablation switches.
         let (t_prefix, d_prefix) = match &self.model {
             EngineModel::Text { .. } => {
                 if req.image_seed.is_some() {
@@ -266,8 +484,6 @@ impl Engine {
                 if req.image_seed.is_none() {
                     return Err("multimodal engine requires image_seed".into());
                 }
-                // Conservative draft bound: the raw-vision ablation seeds
-                // the full n_img prefix.
                 (
                     model.n_img() + req.prompt.len(),
                     model.n_img() + req.prompt.len(),
@@ -281,6 +497,18 @@ impl Engine {
             && d_prefix > self.model.draft().cfg.max_seq
         {
             return Err("prompt exceeds draft context window".into());
+        }
+        // Admission reasons in blocks: a request whose lease can never be
+        // satisfied even by an empty pool must be refused up front, or it
+        // would wedge the queue head forever.
+        let plan = self.lease_plan(req);
+        if self.t_pool.blocks_for(plan.t_capacity) > self.t_pool.total_blocks() {
+            return Err("request KV footprint exceeds the target pool".into());
+        }
+        if let Some(dc) = plan.d_capacity {
+            if self.d_pool.blocks_for(dc) > self.d_pool.total_blocks() {
+                return Err("request KV footprint exceeds the draft pool".into());
+            }
         }
         Ok(())
     }
@@ -366,13 +594,21 @@ impl Engine {
         }
     }
 
-    /// Cancel everything queued or running (server shutdown drain).
+    /// Cancel everything queued or running (server shutdown drain). Queued
+    /// requests are finished `Cancelled` **immediately** — they hold no
+    /// leases and will never get a scheduling turn once the server stops
+    /// ticking — so the queue-depth gauge drops to 0 here rather than
+    /// lingering at its pre-shutdown value. Running sessions stop at their
+    /// next block boundary as before.
     pub fn cancel_all(&self) {
         {
-            let q = self.qstate.lock().unwrap();
-            for a in q.queue.iter() {
-                a.handle.cancel();
+            let mut q = self.qstate.lock().unwrap();
+            while let Some(qd) = q.queue.pop_front() {
+                qd.handle.cancel();
+                qd.handle.finish(Status::Cancelled, None);
+                self.metrics.requests_cancelled.inc();
             }
+            self.metrics.queue_depth.set(0);
         }
         let slots = self.slots.lock().unwrap();
         for slot in slots.iter() {
@@ -385,35 +621,120 @@ impl Engine {
     /// Move queued requests into free slots (FIFO), dropping cancelled
     /// entries. Called at the top of every tick, so a slot freed by a
     /// completion in round N is serving the next queued request in round
-    /// N+1 — no slot ever idles while the queue is non-empty.
+    /// N+1 — no slot ever idles while the queue is non-empty *and* the
+    /// pools can cover its lease. When they cannot, the head waits —
+    /// skipping ahead would break the FIFO order that makes served streams
+    /// independent of worker count.
     fn refill(&self, slots: &mut [Slot]) {
         let mut q = self.qstate.lock().unwrap();
-        for slot in slots.iter_mut().filter(|s| s.active.is_none()) {
+        'slots: for slot in slots.iter_mut().filter(|s| s.active.is_none()) {
             let next = loop {
                 match q.queue.pop_front() {
-                    Some(a) if a.handle.is_cancel_requested() => {
-                        a.handle.finish(Status::Cancelled, None);
+                    Some(qd) if qd.handle.is_cancel_requested() => {
+                        qd.handle.finish(Status::Cancelled, None);
                         self.metrics.requests_cancelled.inc();
                     }
                     other => break other,
                 }
             };
-            let Some(active) = next else { break };
-            // The slot's caches may hold a previous request's KV; reset
-            // returns them to the freshly-allocated state (bit-identical —
-            // see `LayerKv::reset`) without touching the heap.
-            slot.t_cache.reset();
-            slot.d_cache.reset();
-            active.handle.mark_running();
-            slot.active = Some(active);
+            let Some(queued) = next else { break };
+            match self.admit(&queued.req) {
+                Some((t_cache, d_cache, vision)) => {
+                    queued.handle.mark_running();
+                    slot.active = Some(Active {
+                        handle: queued.handle,
+                        phase: Phase::Prefill(queued.req),
+                        published: 0,
+                        t_cache,
+                        d_cache,
+                        vision,
+                    });
+                }
+                None => {
+                    // Not enough free blocks even after eviction: the head
+                    // waits for a running session to finish.
+                    q.queue.push_front(queued);
+                    break 'slots;
+                }
+            }
         }
         self.metrics.queue_depth.set(q.queue.len() as u64);
+        self.metrics
+            .kv_free_blocks_target
+            .set(self.t_pool.free_blocks() as u64);
+        self.metrics
+            .kv_free_blocks_draft
+            .set(self.d_pool.free_blocks() as u64);
+    }
+
+    /// Try to lease everything `req` needs. On success the caches are live
+    /// (blocks deducted); on failure everything acquired is returned and
+    /// the caller leaves the request queued.
+    fn admit(&self, req: &Request) -> Option<(KvCache, Option<KvCache>, VisionPlan)> {
+        let plan = self.lease_plan(req);
+        match &self.model {
+            EngineModel::Text { .. } => {
+                let t_cache = self.t_pool.try_lease(plan.t_capacity)?;
+                let d_cache = match plan.d_capacity {
+                    Some(dc) => Some(self.d_pool.try_lease(dc)?),
+                    None => None,
+                };
+                Some((t_cache, d_cache, VisionPlan::None))
+            }
+            EngineModel::Multimodal { model, .. } => {
+                let seed = req.image_seed.expect("validated at submit");
+                let image = Image::synthetic(
+                    &mut Rng::new(seed),
+                    model.cfg.vision.n_patches,
+                    model.cfg.vision.patch_dim,
+                );
+                let hash = image.content_hash();
+                // Eviction loop: each failed lease attempt frees the
+                // coldest cached prefix and retries, until the cache is
+                // empty — at which point the pool is genuinely full.
+                loop {
+                    let mut vc = self.vision_cache.lock().unwrap();
+                    let hit = vc.entries.contains_key(&hash);
+                    let t_cache = if hit {
+                        vc.clock += 1;
+                        let clock = vc.clock;
+                        let entry = vc.entries.get_mut(&hash).unwrap();
+                        entry.last_used = clock;
+                        self.t_pool
+                            .try_lease_with_prefix(&entry.t_prefix, plan.t_capacity)
+                    } else {
+                        self.t_pool.try_lease(plan.t_capacity)
+                    };
+                    let leases = t_cache.and_then(|t| match plan.d_capacity {
+                        Some(dc) => self.d_pool.try_lease(dc).map(|d| (t, Some(d))),
+                        None => Some((t, None)),
+                    });
+                    if let Some((t_cache, d_cache)) = leases {
+                        if hit {
+                            self.metrics.vision_cache_hits.inc();
+                        } else {
+                            self.metrics.vision_cache_misses.inc();
+                        }
+                        let vision = if hit {
+                            VisionPlan::Hit { hash }
+                        } else {
+                            VisionPlan::Miss { image, hash }
+                        };
+                        return Some((t_cache, d_cache, vision));
+                    }
+                    if !vc.evict_coldest(Some(hash)) {
+                        return None;
+                    }
+                }
+            }
+        }
     }
 
     /// Advance one slot by one unit of work: prefill on the session's first
     /// turn, afterwards one speculative block (or one AR token).
     fn step_slot(&self, slot: &mut Slot) {
-        let Some(active) = slot.active.as_mut() else {
+        let Slot { ws, active: cell } = slot;
+        let Some(active) = cell.as_mut() else {
             return;
         };
         if active.handle.is_cancel_requested() {
@@ -426,58 +747,60 @@ impl Engine {
             }
             active.handle.finish(Status::Cancelled, stats);
             self.metrics.requests_cancelled.inc();
-            slot.active = None;
+            *cell = None; // drops the leases
             return;
         }
         let started = Instant::now();
-        match &mut active.phase {
+        let Active {
+            handle,
+            phase,
+            published,
+            t_cache,
+            d_cache,
+            vision,
+        } = active;
+        match phase {
             Phase::Prefill(req) => {
                 let req = req.clone();
-                let phase = self.prefill(&req, slot);
-                let active = slot.active.as_mut().unwrap();
-                active.phase = phase;
+                *phase = self.prefill(&req, t_cache, d_cache, vision, ws);
                 // Publish the prefill-decided first token (TTFT = queue
                 // wait + prefill).
-                let tokens_now = match &active.phase {
-                    Phase::Spec(s) => s.tokens().len(),
-                    Phase::Ar(s) => s.tokens().len(),
+                let (tokens_now, done) = match &*phase {
+                    Phase::Spec(s) => {
+                        handle.push_tokens(s.tokens());
+                        (s.tokens().len(), s.is_done())
+                    }
+                    Phase::Ar(s) => {
+                        handle.push_tokens(s.tokens());
+                        (s.tokens().len(), s.is_done())
+                    }
                     Phase::Prefill(_) => unreachable!(),
                 };
                 debug_assert_eq!(tokens_now, 1);
-                match &active.phase {
-                    Phase::Spec(s) => active.handle.push_tokens(&s.tokens()[..tokens_now]),
-                    Phase::Ar(s) => active.handle.push_tokens(&s.tokens()[..tokens_now]),
-                    Phase::Prefill(_) => unreachable!(),
-                }
-                active.published = tokens_now;
+                *published = tokens_now;
                 self.metrics.tokens_generated.add(tokens_now as u64);
-                if let Some(ttft) = active.handle.ttft_ms() {
+                if let Some(ttft) = handle.ttft_ms() {
                     self.metrics.ttft_ms.record_ms(ttft);
                 }
-                let done = match &active.phase {
-                    Phase::Spec(s) => s.is_done(),
-                    Phase::Ar(s) => s.is_done(),
-                    Phase::Prefill(_) => unreachable!(),
-                };
                 if done {
-                    self.finish_slot(slot);
+                    self.finish_slot(cell);
                 }
             }
             Phase::Spec(session) => {
                 let report = session.step_block(
                     self.model.target_lm(),
                     self.model.draft(),
-                    &mut slot.t_cache,
-                    &mut slot.d_cache,
-                    &mut slot.ws,
+                    t_cache,
+                    d_cache.as_mut().expect("spec session without draft lease"),
+                    ws,
                 );
                 let block_ms = started.elapsed().as_secs_f64() * 1e3;
                 self.metrics.block_ms.record_ms(block_ms);
                 if report.committed > 0 {
-                    let new = &session.tokens()[active.published..];
+                    let new = &session.tokens()[*published..];
                     debug_assert_eq!(new.len(), report.committed);
-                    active.handle.push_tokens(new);
-                    active.published += report.committed;
+                    handle.push_tokens(new);
+                    *published += report.committed;
                     self.metrics.tokens_generated.add(report.committed as u64);
                     for _ in 0..report.committed {
                         self.metrics
@@ -486,115 +809,221 @@ impl Engine {
                     }
                 }
                 if report.done {
-                    self.finish_slot(slot);
+                    self.finish_slot(cell);
                 }
             }
             Phase::Ar(session) => {
-                let report = session.step(self.model.target_lm(), &mut slot.t_cache, &mut slot.ws);
+                let report = session.step(self.model.target_lm(), t_cache, ws);
                 let block_ms = started.elapsed().as_secs_f64() * 1e3;
                 self.metrics.block_ms.record_ms(block_ms);
                 if report.committed > 0 {
-                    let new = &session.tokens()[active.published..];
-                    active.handle.push_tokens(new);
-                    active.published += report.committed;
+                    let new = &session.tokens()[*published..];
+                    handle.push_tokens(new);
+                    *published += report.committed;
                     self.metrics.tokens_generated.add(report.committed as u64);
                     self.metrics.token_ms.record_ms(block_ms);
                 }
                 if report.done {
-                    self.finish_slot(slot);
+                    self.finish_slot(cell);
                 }
             }
         }
     }
 
-    /// Prefill the slot's caches for `req` and build its decode session.
-    fn prefill(&self, req: &Request, slot: &mut Slot) -> Phase {
-        debug_assert!(slot.t_cache.is_empty() && slot.d_cache.is_empty());
+    /// Prefill the session's leased caches for `req` and build its decode
+    /// session. On a vision-cache hit the target lease already carries the
+    /// `n_img` prefix, so only the text leg runs.
+    fn prefill(
+        &self,
+        req: &Request,
+        t_cache: &mut KvCache,
+        d_cache: &mut Option<KvCache>,
+        vision: &VisionPlan,
+        ws: &mut Workspace,
+    ) -> Phase {
         let target = self.model.target_lm();
         let draft = self.model.draft();
-        let ws = &mut slot.ws;
 
         // Target prefill → the pending token.
-        let pending = match &self.model {
-            EngineModel::Text { .. } => {
+        let pending = match (&self.model, vision) {
+            (EngineModel::Text { .. }, _) => {
+                debug_assert!(t_cache.is_empty());
                 let vocab = target.cfg.vocab;
                 let mut logits = ws.take(req.prompt.len() * vocab);
-                target.forward_infer_ws(&req.prompt, &mut slot.t_cache, ws, &mut logits);
+                target.forward_infer_ws(&req.prompt, t_cache, ws, &mut logits);
                 let pending = argmax(&logits[(req.prompt.len() - 1) * vocab..]) as u32;
                 ws.give(logits);
                 pending
             }
-            EngineModel::Multimodal { model, .. } => {
-                let seed = req.image_seed.expect("validated at submit");
-                let img = Image::synthetic(
-                    &mut Rng::new(seed),
-                    model.cfg.vision.n_patches,
-                    model.cfg.vision.patch_dim,
-                );
-                model.prefill_ws(&img, &req.prompt, &mut slot.t_cache, ws)
+            (EngineModel::Multimodal { model, .. }, VisionPlan::Miss { image, hash }) => {
+                debug_assert!(t_cache.is_empty());
+                let pending = model.prefill_ws(image, &req.prompt, t_cache, ws);
+                self.populate_vision_cache(*hash, t_cache, None);
+                pending
+            }
+            (EngineModel::Multimodal { model, .. }, VisionPlan::Hit { .. }) => {
+                debug_assert_eq!(t_cache.len(), model.n_img());
+                model.prefill_text_ws(&req.prompt, t_cache, ws)
+            }
+            (EngineModel::Multimodal { .. }, VisionPlan::None) => {
+                unreachable!("multimodal admission always sets a vision plan")
             }
         };
 
+        // The lease was sized from the request alone; the actual prefill
+        // must land exactly on that plan or the capacity/budget identity
+        // (and with it stream-equivalence to the one-shot loops) breaks.
+        let plan = self.lease_plan(req);
+        debug_assert_eq!(t_cache.len(), plan.t_prefix, "t prefix != plan");
+
         match req.mode {
             DecodeMode::Autoregressive => {
-                let budget = req.max_new.min(target.cfg.max_seq + 1 - slot.t_cache.len());
-                Phase::Ar(ArSession::new(target, &slot.t_cache, pending, budget))
+                let budget = req.max_new.min(target.cfg.max_seq + 1 - t_cache.len());
+                debug_assert_eq!(budget, plan.budget);
+                Phase::Ar(ArSession::new(target, t_cache, pending, budget))
             }
             DecodeMode::Speculative { gamma } => {
+                let d_cache = d_cache.as_mut().expect("spec admission leases a draft");
                 // Draft prefill: text prompt, preceded in the multimodal
                 // case by the ablation-selected vision prefix (hybrid
-                // cache, same seeding as `mm_speculative_ws`).
-                match &self.model {
-                    EngineModel::Text { .. } => {
+                // cache, same seeding as `mm_speculative_ws`). A vision-
+                // cache hit appends the cached projected rows instead of
+                // re-running the projector.
+                match (&self.model, vision) {
+                    (EngineModel::Text { .. }, _) => {
                         let mut d_logits = ws.take(req.prompt.len() * draft.cfg.vocab);
-                        draft.forward_infer_ws(&req.prompt, &mut slot.d_cache, ws, &mut d_logits);
+                        draft.forward_infer_ws(&req.prompt, d_cache, ws, &mut d_logits);
                         ws.give(d_logits);
                     }
-                    EngineModel::Multimodal {
-                        model,
-                        projector,
-                        ablation,
-                        ..
-                    } => {
-                        seed_draft_prefix(
+                    (
+                        EngineModel::Multimodal {
                             model,
-                            Some(projector),
-                            *ablation,
-                            &slot.t_cache,
-                            &mut slot.d_cache,
-                        );
+                            projector,
+                            ablation,
+                            ..
+                        },
+                        plan,
+                    ) => {
+                        let seeded_from_cache = match plan {
+                            VisionPlan::Hit { hash } => self.seed_draft_from_cache(*hash, d_cache),
+                            _ => false,
+                        };
+                        if !seeded_from_cache {
+                            seed_draft_prefix(model, Some(projector), *ablation, t_cache, d_cache);
+                        }
+                        if let VisionPlan::Miss { hash, .. } = plan {
+                            self.populate_vision_cache(*hash, t_cache, Some(d_cache));
+                        }
                         if !ablation.drop_text_kv {
                             let mut d_logits = ws.take(req.prompt.len() * draft.cfg.vocab);
-                            draft.forward_infer_ws(
-                                &req.prompt,
-                                &mut slot.d_cache,
-                                ws,
-                                &mut d_logits,
-                            );
+                            draft.forward_infer_ws(&req.prompt, d_cache, ws, &mut d_logits);
                             ws.give(d_logits);
                         }
                     }
                 }
                 let budget = req
                     .max_new
-                    .min(target.cfg.max_seq + 1 - slot.t_cache.len())
-                    .min(draft.cfg.max_seq + 1 - slot.d_cache.len());
-                Phase::Spec(SpecSession::new(
-                    target,
-                    draft,
-                    &slot.t_cache,
-                    &slot.d_cache,
-                    pending,
-                    budget,
-                    gamma,
-                ))
+                    .min(target.cfg.max_seq + 1 - t_cache.len())
+                    .min(draft.cfg.max_seq + 1 - d_cache.len());
+                debug_assert_eq!(d_cache.len(), plan.d_prefix, "d prefix != plan");
+                debug_assert_eq!(budget, plan.budget);
+                let mut session =
+                    SpecSession::new(target, draft, t_cache, d_cache, pending, budget, gamma);
+                if self.cfg.adaptive_gamma {
+                    let ratio = draft.n_params() as f64 / target.n_params() as f64;
+                    session.enable_adaptive_gamma(AdaptiveGamma::new(ratio));
+                }
+                Phase::Spec(session)
             }
         }
     }
 
-    /// Completion bookkeeping; the freed slot is refilled on the next tick.
-    fn finish_slot(&self, slot: &mut Slot) {
-        let active = slot.active.take().expect("finishing an empty slot");
+    /// Best-effort: install `hash`'s vision prefix (and, when the creating
+    /// session was speculative, its seeded draft rows) into the cache.
+    /// Runs after a miss prefill; the rows are copied out of the session's
+    /// caches, so the entry is bit-identical to what a fresh vision
+    /// prefill would produce. Skipped when caching is disabled, the entry
+    /// raced into existence, or the pool has no spare blocks (the session
+    /// itself always wins over the cache).
+    fn populate_vision_cache(&self, hash: u64, t_cache: &KvCache, d_cache: Option<&KvCache>) {
+        if self.cfg.vision_cache_entries == 0 {
+            return;
+        }
+        let n_img = self.model.n_img();
+        let d_prefix = self.model.d_vision_prefix();
+        let mut vc = self.vision_cache.lock().unwrap();
+        if vc.entries.contains_key(&hash) {
+            return;
+        }
+        let Some(mut t_prefix) = self.t_pool.try_lease(n_img) else {
+            return;
+        };
+        for l in 0..t_cache.n_layers() {
+            let src = t_cache.layer(l);
+            let mut dst = t_prefix.layer_mut(l);
+            for pos in 0..n_img {
+                dst.append(src.key(pos), src.value(pos));
+            }
+        }
+        let d_seed = d_cache.map(|dc| {
+            (0..dc.n_layers())
+                .map(|l| {
+                    let src = dc.layer(l);
+                    let dim = dc.dim();
+                    let mut k = Tensor::zeros(d_prefix, dim);
+                    let mut v = Tensor::zeros(d_prefix, dim);
+                    for pos in 0..d_prefix {
+                        k.row_mut(pos).copy_from_slice(src.key(pos));
+                        v.row_mut(pos).copy_from_slice(src.value(pos));
+                    }
+                    (k, v)
+                })
+                .collect()
+        });
+        while vc.entries.len() >= self.cfg.vision_cache_entries {
+            if !vc.evict_coldest(None) {
+                break;
+            }
+        }
+        vc.clock += 1;
+        let clock = vc.clock;
+        vc.entries.insert(
+            hash,
+            VisionEntry {
+                t_prefix,
+                d_seed,
+                last_used: clock,
+            },
+        );
+    }
+
+    /// On a hit, seed the draft's vision prefix from the cached rows —
+    /// skipping the projector matmuls. Returns false when the entry was
+    /// evicted between admission and prefill or carries no draft rows
+    /// (created by an AR request); the caller then re-seeds from the
+    /// target prefix, which the session's lease still shares.
+    fn seed_draft_from_cache(&self, hash: u64, d_cache: &mut KvCache) -> bool {
+        let vc = self.vision_cache.lock().unwrap();
+        let Some(entry) = vc.entries.get(&hash) else {
+            return false;
+        };
+        let Some(d_seed) = &entry.d_seed else {
+            return false;
+        };
+        debug_assert!(d_cache.is_empty());
+        for (l, (k, v)) in d_seed.iter().enumerate() {
+            let mut layer = d_cache.layer_mut(l);
+            for r in 0..k.rows {
+                layer.append(k.row(r), v.row(r));
+            }
+        }
+        true
+    }
+
+    /// Completion bookkeeping; dropping the [`Active`] releases its leases,
+    /// and the freed slot is refilled on the next tick.
+    fn finish_slot(&self, cell: &mut Option<Active>) {
+        let active = cell.take().expect("finishing an empty slot");
         let stats = match active.phase {
             Phase::Spec(session) => {
                 let (_, stats) = session.into_parts();
@@ -623,7 +1052,7 @@ mod tests {
                 slots,
                 workers,
                 max_queue,
-                kernel_policy: KernelPolicy::F32,
+                ..EngineConfig::default()
             },
         )
     }
@@ -757,6 +1186,15 @@ mod tests {
         }
         assert_eq!(engine.metrics().requests_completed.get(), 6);
         assert_eq!(engine.metrics().queue_depth.get(), 0);
+        // Every lease returned to the pools.
+        assert_eq!(
+            engine.metrics().kv_free_blocks_target.get(),
+            engine.t_pool.total_blocks() as u64
+        );
+        assert_eq!(
+            engine.metrics().kv_free_blocks_draft.get(),
+            engine.d_pool.total_blocks() as u64
+        );
     }
 
     /// Admission control: submits past `max_queue` are rejected Busy, and
@@ -795,6 +1233,121 @@ mod tests {
         assert_eq!(engine.metrics().requests_rejected.get(), 8);
         engine.run_until_idle();
         assert_eq!(engine.metrics().requests_completed.get(), 2);
+    }
+
+    /// Block-granular admission: a pool sized for one long session at a
+    /// time forces the second request to wait head-of-line, but both must
+    /// still complete losslessly — continuous batching degrades to serial
+    /// execution, never to deadlock or corruption.
+    #[test]
+    fn block_admission_serializes_when_pool_is_tight() {
+        let target = Arc::new(Decoder::new(DecoderConfig::tiny(40), 10));
+        let draft = Arc::new(Decoder::new(DecoderConfig::tiny(40), 20));
+        let engine = Engine::new(
+            EngineModel::Text {
+                target: Arc::clone(&target),
+                draft: Arc::clone(&draft),
+            },
+            EngineConfig {
+                slots: 2,
+                block_size: 16,
+                // 64 target positions total: one 48-token session's lease
+                // (4 + 48 − 1 = 51 positions → 4 blocks) takes all of them.
+                t_pool_blocks: 4,
+                ..EngineConfig::default()
+            },
+        );
+        let mut ws = Workspace::new();
+        let budget = 48;
+        let h1 = engine
+            .submit(spec_req(vec![3, 7, 1, 9], budget, 3))
+            .unwrap();
+        let h2 = engine
+            .submit(spec_req(vec![5, 2, 4, 6], budget, 3))
+            .unwrap();
+        engine.tick();
+        {
+            let slots = engine.slots.lock().unwrap();
+            assert_eq!(
+                slots.iter().filter(|s| s.active.is_some()).count(),
+                1,
+                "second session must wait for blocks"
+            );
+        }
+        engine.run_until_idle();
+        for (h, prompt) in [(&h1, vec![3u32, 7, 1, 9]), (&h2, vec![5u32, 2, 4, 6])] {
+            let (want, _) =
+                speculative_greedy_with_budget_ws(&target, &draft, &prompt, budget, 3, &mut ws);
+            assert_eq!(h.snapshot(), (Status::Done, want));
+        }
+        // A request whose lease exceeds the whole pool (4 + 62 − 1 = 65
+        // positions → 5 blocks > 4) is rejected up front, not wedged.
+        assert!(matches!(
+            engine.submit(Request {
+                prompt: vec![1, 2, 3, 4],
+                max_new: 62,
+                mode: DecodeMode::Autoregressive,
+                image_seed: None,
+            }),
+            Err(Rejection::Invalid(_))
+        ));
+    }
+
+    /// The queue-depth gauge must track every transition: growth on submit,
+    /// decay through refill, and an immediate drop to zero on `cancel_all`
+    /// — the shutdown path previously left it stale at its last value.
+    #[test]
+    fn queue_depth_gauge_returns_to_zero() {
+        let engine = text_engine(1, 1, 16);
+        for i in 0..5 {
+            engine.submit(spec_req(vec![1 + i, 2], 8, 3)).unwrap();
+        }
+        assert_eq!(engine.metrics().queue_depth.get(), 5);
+        engine.run_until_idle();
+        assert_eq!(engine.metrics().queue_depth.get(), 0);
+        assert_eq!(engine.metrics().requests_completed.get(), 5);
+
+        // Queue up work and shut down without ever ticking: the gauge and
+        // every queued handle must still reach their terminal states.
+        let hs: Vec<_> = (0..3)
+            .map(|i| engine.submit(spec_req(vec![2 + i, 3], 8, 3)).unwrap())
+            .collect();
+        assert_eq!(engine.metrics().queue_depth.get(), 3);
+        engine.cancel_all();
+        assert_eq!(engine.metrics().queue_depth.get(), 0);
+        for h in hs {
+            assert_eq!(h.snapshot().0, Status::Cancelled);
+        }
+        assert_eq!(engine.metrics().requests_cancelled.get(), 3);
+    }
+
+    /// Adaptive γ must not change a single served token — only the stats.
+    #[test]
+    fn adaptive_gamma_engine_is_lossless() {
+        let target = Arc::new(Decoder::new(DecoderConfig::tiny(40), 10));
+        let draft = Arc::new(Decoder::new(DecoderConfig::tiny(40), 20));
+        let engine = Engine::new(
+            EngineModel::Text {
+                target: Arc::clone(&target),
+                draft: Arc::clone(&draft),
+            },
+            EngineConfig {
+                adaptive_gamma: true,
+                ..EngineConfig::default()
+            },
+        );
+        let mut ws = Workspace::new();
+        for (i, prompt) in [vec![3u32, 7, 1, 9], vec![5, 2], vec![8, 8, 8]]
+            .into_iter()
+            .enumerate()
+        {
+            let budget = 20 + i;
+            let (want, _) =
+                speculative_greedy_with_budget_ws(&target, &draft, &prompt, budget, 4, &mut ws);
+            let h = engine.submit(spec_req(prompt, budget, 4)).unwrap();
+            engine.run_until_idle();
+            assert_eq!(h.snapshot(), (Status::Done, want), "request {i}");
+        }
     }
 
     /// Cancelling a running request stops it at a block boundary, keeps the
@@ -845,8 +1398,8 @@ mod tests {
     }
 
     /// Slot reuse: many sequential requests through one slot must all be
-    /// lossless (reset caches behave like fresh ones) and the workspace
-    /// pool must stop growing after warmup.
+    /// lossless (reused pool blocks behave like fresh ones) and the
+    /// workspace pool must stop growing after warmup.
     #[test]
     fn slot_reuse_is_lossless_and_allocation_stable() {
         let engine = text_engine(1, 1, 16);
@@ -864,13 +1417,13 @@ mod tests {
         let slots = engine.slots.lock().unwrap();
         assert!(slots[0].active.is_none(), "slot should be idle after drain");
         assert_eq!(engine.metrics.requests_completed.get(), 3);
+        assert_eq!(engine.t_pool.free_blocks(), engine.t_pool.total_blocks());
     }
 
-    /// Multimodal engine: served hybrid-cache sessions match
-    /// `mm_speculative_ws` / `mm_autoregressive_ws` exactly.
-    #[test]
-    fn multimodal_engine_is_lossless() {
-        use aasd_mm::{draft_for, mm_autoregressive_ws, mm_speculative_ws, LlavaSimConfig};
+    fn mm_engine(
+        vision_cache_entries: usize,
+    ) -> (Arc<Engine>, Arc<LlavaSim>, Arc<Decoder>, Arc<KvProjector>) {
+        use aasd_mm::{draft_for, LlavaSimConfig};
         let cfg = LlavaSimConfig::tiny(40, 96);
         let model = Arc::new(LlavaSim::new(cfg.clone(), 0xB0));
         let draft = Arc::new(draft_for(&cfg, 0xB1));
@@ -892,9 +1445,20 @@ mod tests {
                 slots: 2,
                 workers: 1,
                 max_queue: 8,
-                kernel_policy: KernelPolicy::F32,
+                vision_cache_entries,
+                ..EngineConfig::default()
             },
         );
+        (engine, model, draft, projector)
+    }
+
+    /// Multimodal engine: served hybrid-cache sessions match
+    /// `mm_speculative_ws` / `mm_autoregressive_ws` exactly.
+    #[test]
+    fn multimodal_engine_is_lossless() {
+        use aasd_mm::{mm_autoregressive_ws, mm_speculative_ws};
+        let (engine, model, draft, projector) = mm_engine(8);
+        let cfg = &model.cfg;
         let mut ws = Workspace::new();
         let prompt = vec![3u32, 11, 25, 7];
         let seed = 5u64;
@@ -940,5 +1504,76 @@ mod tests {
             engine.submit(spec_req(vec![1], 4, 2)),
             Err(Rejection::Invalid(_))
         ));
+    }
+
+    /// The vision cache: a repeated image is a hit that skips the vision
+    /// tower yet yields the byte-identical stream; hit/miss counters track
+    /// it; disabling the cache (entries = 0) serves every request as a
+    /// miss and still matches.
+    #[test]
+    fn vision_cache_hit_is_bit_identical_to_miss() {
+        use aasd_mm::mm_speculative_ws;
+        let (engine, model, draft, projector) = mm_engine(4);
+        let cfg = &model.cfg;
+        let mut ws = Workspace::new();
+        let prompt = vec![3u32, 11, 25, 7];
+        let mut want = Vec::new();
+        for seed in [5u64, 5, 9, 5] {
+            let img = Image::synthetic(
+                &mut Rng::new(seed),
+                cfg.vision.n_patches,
+                cfg.vision.patch_dim,
+            );
+            let (w, _) = mm_speculative_ws(
+                &model,
+                &draft,
+                Some(&projector),
+                Ablation::projector(),
+                &img,
+                &prompt,
+                16,
+                3,
+                &mut ws,
+            );
+            want.push(w);
+        }
+        let handles: Vec<_> = [5u64, 5, 9, 5]
+            .iter()
+            .map(|&seed| {
+                let h = engine
+                    .submit(Request {
+                        prompt: prompt.clone(),
+                        max_new: 16,
+                        mode: DecodeMode::Speculative { gamma: 3 },
+                        image_seed: Some(seed),
+                    })
+                    .unwrap();
+                // Serialize so hit/miss accounting is deterministic.
+                engine.run_until_idle();
+                h
+            })
+            .collect();
+        for (h, w) in handles.iter().zip(&want) {
+            assert_eq!(h.snapshot(), (Status::Done, w.clone()));
+        }
+        // Seeds [5, 5, 9, 5]: misses for 5 and 9, hits for the repeats.
+        assert_eq!(engine.metrics().vision_cache_misses.get(), 2);
+        assert_eq!(engine.metrics().vision_cache_hits.get(), 2);
+
+        // Same burst with the cache disabled: identical streams, no hits.
+        let (engine0, ..) = mm_engine(0);
+        for (&seed, w) in [5u64, 5, 9, 5].iter().zip(&want) {
+            let h = engine0
+                .submit(Request {
+                    prompt: prompt.clone(),
+                    max_new: 16,
+                    mode: DecodeMode::Speculative { gamma: 3 },
+                    image_seed: Some(seed),
+                })
+                .unwrap();
+            engine0.run_until_idle();
+            assert_eq!(h.snapshot(), (Status::Done, w.clone()));
+        }
+        assert_eq!(engine0.metrics().vision_cache_hits.get(), 0);
     }
 }

@@ -8,13 +8,20 @@
 //!
 //! The answer is built from four pieces:
 //!
-//! * [`engine`] — session slots (per-request KV caches + scratch, reset and
-//!   reused, never reallocated), a FIFO admission queue with a hard cap,
-//!   and a continuous-batching scheduler that advances every active session
-//!   one speculative block per tick. Because each slot runs the *same*
+//! * [`engine`] — a block-paged KV pool per model (sessions lease exactly
+//!   the blocks their prompt + budget needs from one pre-allocated arena,
+//!   and return them on completion), a FIFO admission queue that reasons
+//!   in free blocks, an LRU shared-prefix vision cache keyed by image
+//!   content hash (a hit maps the cached vision KV into the session
+//!   copy-on-write and skips the ViT + connector + projector entirely),
+//!   an optional per-session adaptive-γ controller, and a
+//!   continuous-batching scheduler that advances every active session one
+//!   speculative block per tick. Because each slot runs the *same*
 //!   [`aasd_specdec::SpecSession`] state machine as the one-shot fused
-//!   loops, every served completion is token-identical to a single-request
-//!   run — losslessness survives scheduling, by construction.
+//!   loops — on a lease sized so the capacity bound collapses onto the
+//!   budget bound — every served completion is token-identical to a
+//!   single-request run — losslessness survives scheduling and paging, by
+//!   construction.
 //! * [`request`] — the client-facing handle: status, streamed tokens, TTFT,
 //!   cancellation.
 //! * [`metrics`] — a lock-free registry (atomic counters/gauges +

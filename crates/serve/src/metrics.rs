@@ -97,8 +97,14 @@ impl Histogram {
         }
     }
 
+    /// Record one latency sample. NaN, infinite, and negative inputs are
+    /// **rejected** (dropped, not clamped): a clock that produced garbage
+    /// must not silently deposit a zero into the sum and skew every mean
+    /// and quantile derived from it.
     pub fn record_ms(&self, ms: f64) {
-        let ms = if ms.is_finite() && ms >= 0.0 { ms } else { 0.0 };
+        if !ms.is_finite() || ms < 0.0 {
+            return;
+        }
         let idx = self
             .bounds_ms
             .iter()
@@ -126,33 +132,37 @@ impl Histogram {
 
     /// Quantile estimate (`q` in `[0, 1]`), linearly interpolated inside the
     /// target bucket. Overflow-bucket hits are reported as the last bound
-    /// (a floor, like Prometheus' `histogram_quantile`). Returns 0 when
-    /// empty.
+    /// (a floor, like Prometheus' `histogram_quantile`). An empty histogram
+    /// returns the defined value 0.0 without scanning any bucket.
+    ///
+    /// The buckets are snapshotted first and the total derived from the
+    /// snapshot, so a concurrent `record_ms` (bucket bumped, `count` not
+    /// yet) can never send the scan hunting for a rank beyond the buckets'
+    /// sum — the scan is self-consistent by construction.
     pub fn quantile_ms(&self, q: f64) -> f64 {
-        let n = self.count();
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let n: u64 = counts.iter().sum();
         if n == 0 {
             return 0.0;
         }
         let target = (q.clamp(0.0, 1.0) * n as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            let c = bucket.load(Ordering::Relaxed);
+        for (i, &c) in counts.iter().enumerate() {
             if seen + c >= target {
                 if i == self.bounds_ms.len() {
                     return self.bounds_ms[self.bounds_ms.len() - 1];
                 }
                 let lo = if i == 0 { 0.0 } else { self.bounds_ms[i - 1] };
                 let hi = self.bounds_ms[i];
-                let frac = if c == 0 {
-                    1.0
-                } else {
-                    (target - seen) as f64 / c as f64
-                };
-                return lo + (hi - lo) * frac;
+                return lo + (hi - lo) * (target - seen) as f64 / c as f64;
             }
             seen += c;
         }
-        self.bounds_ms[self.bounds_ms.len() - 1]
+        unreachable!("target rank {target} exceeds snapshot total {n}")
     }
 
     /// Per-bucket cumulative counts, Prometheus `le`-style.
@@ -190,9 +200,16 @@ pub struct Metrics {
     pub spec_drafted: Counter,
     pub spec_accepted: Counter,
     pub spec_prefill_tokens: Counter,
+    // Shared-prefix vision cache (multimodal engines; always 0 on text).
+    pub vision_cache_hits: Counter,
+    pub vision_cache_misses: Counter,
     // Live state.
     pub queue_depth: Gauge,
     pub active_sessions: Gauge,
+    /// Free blocks in the target / draft KV pools after the last refill —
+    /// the quantity admission control actually reasons in.
+    pub kv_free_blocks_target: Gauge,
+    pub kv_free_blocks_draft: Gauge,
     // Latency distributions.
     pub ttft_ms: Histogram,
     pub token_ms: Histogram,
@@ -241,7 +258,7 @@ impl Metrics {
     /// Prometheus-style text exposition (the `METRICS` protocol command).
     pub fn render_text(&self) -> String {
         let mut out = String::new();
-        let counters: [(&str, &Counter); 10] = [
+        let counters: [(&str, &Counter); 12] = [
             ("aasd_requests_submitted_total", &self.requests_submitted),
             ("aasd_requests_rejected_total", &self.requests_rejected),
             ("aasd_requests_completed_total", &self.requests_completed),
@@ -252,6 +269,8 @@ impl Metrics {
             ("aasd_spec_drafted_total", &self.spec_drafted),
             ("aasd_spec_accepted_total", &self.spec_accepted),
             ("aasd_spec_prefill_tokens_total", &self.spec_prefill_tokens),
+            ("aasd_vision_cache_hits_total", &self.vision_cache_hits),
+            ("aasd_vision_cache_misses_total", &self.vision_cache_misses),
         ];
         for (name, c) in counters {
             out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
@@ -259,6 +278,8 @@ impl Metrics {
         for (name, g) in [
             ("aasd_queue_depth", &self.queue_depth),
             ("aasd_active_sessions", &self.active_sessions),
+            ("aasd_kv_free_blocks_target", &self.kv_free_blocks_target),
+            ("aasd_kv_free_blocks_draft", &self.kv_free_blocks_draft),
         ] {
             out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
         }
@@ -304,7 +325,23 @@ impl Metrics {
             aasd_json::field("cancelled", &self.requests_cancelled.get().to_string()),
             aasd_json::field("tokens_generated", &self.tokens_generated.get().to_string()),
             aasd_json::field("scheduler_ticks", &self.scheduler_ticks.get().to_string()),
+            aasd_json::field(
+                "vision_cache_hits",
+                &self.vision_cache_hits.get().to_string(),
+            ),
+            aasd_json::field(
+                "vision_cache_misses",
+                &self.vision_cache_misses.get().to_string(),
+            ),
             aasd_json::field("queue_depth", &self.queue_depth.get().to_string()),
+            aasd_json::field(
+                "kv_free_blocks_target",
+                &self.kv_free_blocks_target.get().to_string(),
+            ),
+            aasd_json::field(
+                "kv_free_blocks_draft",
+                &self.kv_free_blocks_draft.get().to_string(),
+            ),
             aasd_json::field("active_sessions", &self.active_sessions.get().to_string()),
             aasd_json::field("alpha", &aasd_json::num(self.alpha())),
             aasd_json::field("tau", &aasd_json::num(self.tau())),
@@ -352,13 +389,18 @@ mod tests {
         assert_eq!(h.mean_ms(), 0.0);
     }
 
+    /// Garbage samples are dropped, not zero-clamped: they must leave the
+    /// count, sum, and every quantile exactly as they were.
     #[test]
-    fn non_finite_and_negative_samples_clamp_to_zero() {
+    fn non_finite_and_negative_samples_are_rejected() {
         let h = Histogram::new(&[1.0]);
-        h.record_ms(f64::NAN);
-        h.record_ms(-3.0);
-        assert_eq!(h.count(), 2);
-        assert!(h.quantile_ms(1.0) <= 1.0);
+        h.record_ms(0.5);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -3.0] {
+            h.record_ms(bad);
+        }
+        assert_eq!(h.count(), 1);
+        assert!((h.mean_ms() - 0.5).abs() < 1e-9);
+        assert!((h.quantile_ms(1.0) - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -38,9 +38,11 @@
 //! same target) holds under either policy — and draft and target may run
 //! different policies (`tests/int8_equivalence.rs` pins both properties).
 
+pub mod adaptive;
 pub mod metrics;
 pub mod session;
 
+pub use adaptive::AdaptiveGamma;
 pub use metrics::SpecStats;
 pub use session::{ArSession, SpecSession, StepReport};
 

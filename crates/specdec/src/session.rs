@@ -21,6 +21,7 @@
 //! server each session slot owns its caches and workspace, while the models
 //! are shared read-only across worker threads.
 
+use crate::adaptive::AdaptiveGamma;
 use crate::metrics::SpecStats;
 use crate::MAX_GAMMA;
 use aasd_nn::{Decoder, KvCache};
@@ -55,6 +56,9 @@ pub struct SpecSession {
     t_off: usize,
     d_off: usize,
     done: bool,
+    /// Optional per-session γ controller; when set, γ is re-picked from the
+    /// running acceptance estimate at the start of every block.
+    adaptive: Option<AdaptiveGamma>,
 }
 
 impl SpecSession {
@@ -78,13 +82,15 @@ impl SpecSession {
             (1..MAX_GAMMA).contains(&gamma),
             "gamma must be in 1..{MAX_GAMMA}"
         );
+        // Leased caches may be smaller than the model's context window —
+        // the binding bound is whichever is tighter.
         assert!(
-            t_cache.len() + budget <= target.cfg.max_seq + 1,
-            "budget exceeds target context window"
+            t_cache.len() + budget <= target.cfg.max_seq.min(t_cache.capacity()) + 1,
+            "budget exceeds target context window / lease capacity"
         );
         assert!(
-            d_cache.len() + budget <= draft.cfg.max_seq + 1,
-            "budget exceeds draft context window"
+            d_cache.len() + budget <= draft.cfg.max_seq.min(d_cache.capacity()) + 1,
+            "budget exceeds draft context window / lease capacity"
         );
         let mut s = Self {
             pending,
@@ -95,6 +101,7 @@ impl SpecSession {
             t_off: t_cache.len(),
             d_off: d_cache.len(),
             done: budget == 0,
+            adaptive: None,
         };
         if !s.done {
             s.out.push(pending);
@@ -103,6 +110,20 @@ impl SpecSession {
             s.done = s.out.len() == s.budget;
         }
         s
+    }
+
+    /// Attach an [`AdaptiveGamma`] controller: from the next block on, γ is
+    /// chosen per block from the session's own running acceptance rate
+    /// instead of staying fixed. Greedy speculative decoding is lossless
+    /// under **any** γ schedule, so this changes speed only, never tokens.
+    pub fn enable_adaptive_gamma(&mut self, controller: AdaptiveGamma) {
+        self.adaptive = Some(controller);
+    }
+
+    /// The γ the next block will use (diagnostics).
+    #[inline]
+    pub fn gamma(&self) -> usize {
+        self.adaptive.as_ref().map_or(self.gamma, |a| a.gamma())
     }
 
     /// Tokens emitted so far (monotone; committed tokens never change).
@@ -152,12 +173,18 @@ impl SpecSession {
         let d_base = d_cache.len();
         debug_assert_eq!(t_base, self.t_off + self.out.len() - 1);
         debug_assert_eq!(d_base, self.d_off + self.out.len() - 1);
+        if let Some(ctl) = &self.adaptive {
+            self.gamma = ctl.gamma();
+        }
         // The block feeds g+1 tokens (pending + g proposals) to both caches
         // and commits at most g+1 new tokens; each model bounds g by its own
-        // remaining room. `done == false` guarantees budget − out.len() ≥ 1,
-        // and the constructor's budget asserts guarantee base + 1 ≤ max_seq,
-        // so the subtractions cannot underflow.
-        let room = (target.cfg.max_seq - t_base - 1).min(draft.cfg.max_seq - d_base - 1);
+        // remaining room — the tighter of its context window and its cache
+        // lease. `done == false` guarantees budget − out.len() ≥ 1, and the
+        // constructor's budget asserts guarantee base + 1 ≤ the bound, so
+        // the subtractions cannot underflow.
+        let t_room = target.cfg.max_seq.min(t_cache.capacity()) - t_base - 1;
+        let d_room = draft.cfg.max_seq.min(d_cache.capacity()) - d_base - 1;
+        let room = t_room.min(d_room);
         let g = self.gamma.min(self.budget - self.out.len() - 1).min(room);
         if g == 0 {
             // One token of budget or context left: plain fused decode step.
@@ -222,6 +249,9 @@ impl SpecSession {
         self.stats.blocks += 1;
         self.stats.drafted += g;
         self.stats.accepted += accepted;
+        if let Some(ctl) = &mut self.adaptive {
+            ctl.observe(g, accepted);
+        }
         // Commit the accepted prefix plus the new pending token, clamped to
         // the remaining budget (invariant: stats.generated == out.len()).
         let commit = (accepted + 1).min(self.budget - self.out.len());
@@ -270,8 +300,8 @@ impl ArSession {
     /// [`SpecSession::new`]).
     pub fn new(target: &Decoder, cache: &KvCache, pending: u32, budget: usize) -> Self {
         assert!(
-            cache.len() + budget <= target.cfg.max_seq + 1,
-            "budget exceeds context window"
+            cache.len() + budget <= target.cfg.max_seq.min(cache.capacity()) + 1,
+            "budget exceeds context window / lease capacity"
         );
         let mut s = Self {
             pending,
