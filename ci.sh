@@ -49,6 +49,23 @@ if [[ "${1:-}" != "--quick" ]]; then
     cargo test -q -p aasd --test serving_determinism
     cargo test -q -p aasd --test mm_lossless
 
+    echo "==> pipeline gate: async scheduler determinism + shutdown drain on both kernel tiers"
+    # The async draft/target pipeline (free-running draft threads + SPSC
+    # rings) must stream byte-identically to the sync scheduler at 1/2/4
+    # target workers, and SHUTDOWN must join every draft thread within its
+    # bound. Run the determinism + server suites pinned to the scalar
+    # reference and again on the host's best backend, plus the 2-thread
+    # ring stress under AASD_THREADS variations — a memory-ordering bug
+    # that only reproduces under one interleaving budget cannot slip
+    # through silently.
+    AASD_KERNEL=scalar cargo test -q -p aasd --test serving_determinism async
+    AASD_KERNEL=scalar cargo test -q -p aasd --test server_smoke async
+    cargo test -q -p aasd --test serving_determinism async
+    cargo test -q -p aasd --test server_smoke async
+    for t in 1 4 8; do
+        AASD_THREADS=$t cargo test -q --release -p aasd-specdec spsc_stress_hash_chain_with_rollbacks
+    done
+
     echo "==> kernel gate: equivalence suite on forced-scalar and host-best tiers"
     # The SIMD/int8 kernel layer must be lossless on every dispatch tier the
     # host supports. Run the tensor kernel tests plus the int8 spec≡AR suite
@@ -60,7 +77,7 @@ if [[ "${1:-}" != "--quick" ]]; then
     cargo test -q -p aasd-tensor
     cargo test -q -p aasd --test int8_equivalence
 
-    echo "==> perf snapshot smoke (every bench section; decode-step regression vs latest BENCH_PR*.json is a hard failure)"
+    echo "==> perf snapshot smoke (every bench section; decode-step + pipeline-throughput regressions vs latest BENCH_PR*.json are hard failures)"
     cargo run --release -q -p aasd-bench --bin perf_snapshot -- /tmp/bench_smoke.json --smoke
 
     echo "==> cargo fmt --check"

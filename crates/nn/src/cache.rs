@@ -30,7 +30,21 @@
 //! `capacity()` is fixed per lease so workspace scratch requests stay
 //! constant-size.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Process-global lease-identity counter. Every [`KvCache`] — pool lease or
+/// standalone — gets a unique id at construction, carried by its
+/// checkpoints, so a [`KvCheckpoint`] can never be replayed against a
+/// different lease (e.g. a fresh lease that recycled the same pool blocks).
+/// Copy-on-write inside one lease (`ensure_unique`) does NOT change the id:
+/// the lease is the same logical cache, so checkpoints taken before a CoW
+/// copy stay valid after it.
+static NEXT_LEASE_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_lease_id() -> u64 {
+    NEXT_LEASE_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Shared state of a block arena. Held via `Arc` by the pool handle and by
 /// every cache leased from it, so blocks can flow back even after the
@@ -148,6 +162,7 @@ impl KvPool {
             lens: vec![0; self.inner.n_layers],
             capacity,
             low_mark: 0,
+            lease_id: next_lease_id(),
         })
     }
 
@@ -205,14 +220,26 @@ impl KvPool {
             lens: vec![plen; self.inner.n_layers],
             capacity,
             low_mark: 0,
+            // A prefix lease is a NEW logical cache: checkpoints taken on
+            // the prefix must not restore this lease (or vice versa), even
+            // though they share physical blocks copy-on-write.
+            lease_id: next_lease_id(),
         })
     }
 }
 
 /// Rollback point for speculative decoding; see [`KvCache::checkpoint`].
+///
+/// Carries the identity of the lease it was taken on, so restoring against
+/// the wrong cache — a different lease that recycled the same pool blocks,
+/// or a CoW sibling sharing a prefix — is a panic, not silent corruption.
+/// Surviving *within-lease* copy-on-write is the point: `ensure_unique`
+/// swaps block storage but keeps the lease id, so a draft thread's
+/// checkpoints stay valid across CoW (pinned by the tests below).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KvCheckpoint {
     len: usize,
+    lease_id: u64,
 }
 
 impl KvCheckpoint {
@@ -222,6 +249,11 @@ impl KvCheckpoint {
 
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Identity of the lease this checkpoint belongs to.
+    pub fn lease_id(&self) -> u64 {
+        self.lease_id
     }
 }
 
@@ -238,6 +270,7 @@ pub struct KvCache {
     lens: Vec<usize>,
     capacity: usize,
     low_mark: usize,
+    lease_id: u64,
 }
 
 impl KvCache {
@@ -327,11 +360,23 @@ impl KvCache {
     /// reuse, so a deeper truncate invalidates the checkpoint).
     pub fn checkpoint(&mut self) -> KvCheckpoint {
         self.low_mark = self.len();
-        KvCheckpoint { len: self.len() }
+        KvCheckpoint {
+            len: self.len(),
+            lease_id: self.lease_id,
+        }
+    }
+
+    /// Identity of this lease; see [`KvCheckpoint::lease_id`].
+    pub fn lease_id(&self) -> u64 {
+        self.lease_id
     }
 
     /// Roll back to a checkpoint taken on this cache.
     pub fn restore(&mut self, cp: &KvCheckpoint) {
+        assert_eq!(
+            cp.lease_id, self.lease_id,
+            "checkpoint belongs to a different lease"
+        );
         assert!(
             cp.len <= self.len(),
             "checkpoint is ahead of the cache: {} > {}",
@@ -783,6 +828,62 @@ mod tests {
         let after: Vec<u32> = prefix.block_raw(0).iter().map(|v| v.to_bits()).collect();
         assert_eq!(golden, after, "prefix corrupted by a CoW writer");
         assert_eq!(prefix.layer(0).key(2), &[2.0, 2.0]);
+    }
+
+    /// A checkpoint taken while a lease still shares CoW blocks with its
+    /// prefix must survive the copy-on-write that a later append triggers:
+    /// `ensure_unique` swaps the physical storage but the lease identity —
+    /// and with it the checkpoint — is unchanged.
+    #[test]
+    fn checkpoint_survives_copy_on_write() {
+        let pool = KvPool::new(1, 2, 4, 8);
+        let mut prefix = pool.try_lease(4).unwrap();
+        fill_rows(&mut prefix, 4, 0.0);
+        let mut session = pool.try_lease_with_prefix(&prefix, 8).unwrap();
+        assert!(session.block_is_shared(0));
+        let cp = session.checkpoint(); // len 4, while block 0 is still shared
+        session.truncate(2);
+        // This is below the checkpoint, which invalidates it — take a fresh
+        // one at the rollback frontier, as the draft pipeline does.
+        let cp2 = session.checkpoint();
+        fill_rows(&mut session, 3, 50.0); // CoW: block 0 copied out of the share
+        assert!(!session.block_is_shared(0));
+        assert_eq!(cp.lease_id(), session.lease_id());
+        session.restore(&cp2);
+        assert_eq!(session.len(), 2);
+        assert_eq!(session.layer(0).key(1), &[1.0, 1.0]);
+        // The prefix never noticed any of it.
+        assert_eq!(prefix.layer(0).key(3), &[3.0, 3.0]);
+    }
+
+    /// Checkpoints are lease-scoped: replaying one against a different
+    /// lease — even a CoW sibling sharing the same physical blocks — is a
+    /// panic, not a silent rollback of unrelated rows.
+    #[test]
+    #[should_panic(expected = "different lease")]
+    fn checkpoint_from_another_lease_is_rejected() {
+        let pool = KvPool::new(1, 2, 4, 8);
+        let mut a = pool.try_lease(4).unwrap();
+        fill_rows(&mut a, 3, 0.0);
+        let cp = a.checkpoint();
+        let mut b = pool.try_lease_with_prefix(&a, 8).unwrap();
+        assert_ne!(a.lease_id(), b.lease_id());
+        b.restore(&cp);
+    }
+
+    /// Dropping a lease and re-leasing the same blocks yields a NEW lease
+    /// id, so a stale checkpoint cannot roll back the recycled storage.
+    #[test]
+    #[should_panic(expected = "different lease")]
+    fn stale_checkpoint_cannot_touch_a_recycled_lease() {
+        let pool = KvPool::new(1, 2, 4, 1);
+        let mut first = pool.try_lease(4).unwrap();
+        fill_rows(&mut first, 2, 0.0);
+        let cp = first.checkpoint();
+        drop(first);
+        let mut second = pool.try_lease(4).unwrap();
+        fill_rows(&mut second, 3, 9.0);
+        second.restore(&cp);
     }
 
     /// `reset` on a lease holding shared blocks detaches them (they stay

@@ -20,6 +20,7 @@ fn main() {
             slots: 4,
             workers: 1,
             max_queue: 32,
+            async_pipeline: true,
             ..EngineConfig::default()
         },
     );

@@ -45,16 +45,26 @@
 //! and prompt.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use aasd_mm::{seed_draft_prefix, Ablation, Image, KvProjector, LlavaSim};
 use aasd_nn::{Decoder, KernelPolicy, KvCache, KvPool};
-use aasd_specdec::{AdaptiveGamma, ArSession, SpecSession, MAX_GAMMA};
+use aasd_specdec::{
+    AdaptiveGamma, ArSession, DraftAhead, DraftStep, SpecSession, SpscRing, VerifyHalf,
+    CONFIDENCE_STOP, MAX_GAMMA,
+};
 use aasd_tensor::{argmax, Rng, Tensor, Workspace};
 
 use crate::metrics::Metrics;
 use crate::request::{DecodeMode, Request, RequestHandle, RequestId, Status};
+
+/// Upper bound on waiting for a draft thread to acknowledge `stop` before
+/// detaching it. `notify_draft` bumps the park generation, so a parked
+/// draft wakes immediately and real joins complete in microseconds; the
+/// bound only guards against a wedged thread.
+const DRAFT_JOIN_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// The model bundle an engine serves. One engine serves one family; the
 /// text and multimodal paths differ only in prefill and draft-cache
@@ -86,6 +96,16 @@ impl EngineModel {
     fn draft(&self) -> &Decoder {
         match self {
             EngineModel::Text { draft, .. } | EngineModel::Multimodal { draft, .. } => draft,
+        }
+    }
+
+    /// Owning handle to the draft model, for threads that outlive a
+    /// borrow (the pipeline's per-session draft workers).
+    fn draft_arc(&self) -> Arc<Decoder> {
+        match self {
+            EngineModel::Text { draft, .. } | EngineModel::Multimodal { draft, .. } => {
+                Arc::clone(draft)
+            }
         }
     }
 
@@ -154,6 +174,15 @@ pub struct EngineConfig {
     /// session but stops being a fixed depth. Off by default so existing
     /// deployments keep byte-identical performance profiles.
     pub adaptive_gamma: bool,
+    /// Run the asynchronous draft/target pipeline instead of the
+    /// round-robin tick scheduler: every speculative session gets a
+    /// dedicated draft thread that free-runs ahead through a lock-free
+    /// SPSC ring while `workers` target threads verify and commit
+    /// ([`Engine::run_pipeline`]). Commit authority stays with the verify
+    /// leg, so served streams are byte-identical to the synchronous path;
+    /// only throughput, TTFT, and the per-block statistics change. Off by
+    /// default — the tick scheduler remains the reference.
+    pub async_pipeline: bool,
 }
 
 impl Default for EngineConfig {
@@ -168,6 +197,7 @@ impl Default for EngineConfig {
             d_pool_blocks: 0,
             vision_cache_entries: 8,
             adaptive_gamma: false,
+            async_pipeline: false,
         }
     }
 }
@@ -230,6 +260,126 @@ struct Active {
 struct Slot {
     ws: Workspace,
     active: Option<Active>,
+}
+
+/// Wake-up channel for the async pipeline: target workers park here when
+/// a full sweep makes no progress; submits, draft production, and session
+/// completion all notify.
+struct PipeSignal {
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl PipeSignal {
+    fn new() -> Self {
+        Self {
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn notify(&self) {
+        let _g = self.lock.lock().unwrap();
+        self.cv.notify_all();
+    }
+
+    fn wait(&self, timeout: Duration) {
+        let g = self.lock.lock().unwrap();
+        let _ = self.cv.wait_timeout(g, timeout).unwrap();
+    }
+}
+
+/// Everything a session's draft thread shares with the verify side: the
+/// token ring plus control plane. The verify leg owns `depth_cap` (it
+/// re-publishes its depth hint each block) and `stop`; the draft thread
+/// owns `exited`.
+struct DraftLink {
+    ring: SpscRing,
+    stop: AtomicBool,
+    depth_cap: AtomicUsize,
+    exited: AtomicBool,
+    /// True while the draft is parked at the depth cap / KV capacity —
+    /// it cannot deepen the chain, so the verify leg should consume
+    /// whatever depth the ring holds instead of waiting for more.
+    stalled: AtomicBool,
+    /// Park point for the draft thread, an eventcount: the draft samples
+    /// the generation before re-checking its condition (a `step` call)
+    /// and sleeps only if no notify landed in between, so wakeups cannot
+    /// be lost and the sleep needs **no timeout** — a parked draft costs
+    /// zero context switches until verify pops, rolls back, or stops it.
+    park: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl DraftLink {
+    fn new(depth_cap: usize) -> Self {
+        Self {
+            ring: SpscRing::new(MAX_GAMMA),
+            stop: AtomicBool::new(false),
+            depth_cap: AtomicUsize::new(depth_cap),
+            exited: AtomicBool::new(false),
+            stalled: AtomicBool::new(false),
+            park: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn notify_draft(&self) {
+        *self.park.lock().unwrap() += 1;
+        self.cv.notify_all();
+    }
+
+    /// Generation to sample before checking whether to park.
+    fn park_generation(&self) -> u64 {
+        *self.park.lock().unwrap()
+    }
+
+    /// Sleep until the generation moves past `seen` (i.e. a notify that
+    /// the sampled condition check could not have observed).
+    fn park_until_notified(&self, seen: u64) {
+        let mut gen = self.park.lock().unwrap();
+        while *gen == seen && !self.stop.load(Ordering::Acquire) {
+            gen = self.cv.wait(gen).unwrap();
+        }
+    }
+}
+
+/// The decode state machine an async slot is driving. Speculative
+/// sessions with ≥ 3 tokens of budget carry a live draft thread; smaller
+/// budgets never need a proposal (pending commit + at most one plain
+/// decode), so none is spawned.
+enum AsyncPhase {
+    Prefill(Request),
+    Spec {
+        verify: VerifyHalf,
+        link: Arc<DraftLink>,
+        draft_join: Option<std::thread::JoinHandle<()>>,
+    },
+    Ar(ArSession),
+}
+
+/// An admitted request in the async pipeline. The target lease stays
+/// here; the draft lease moves into the draft thread when one is spawned
+/// (and is released by that thread's exit).
+struct AsyncActive {
+    handle: Arc<RequestHandle>,
+    phase: AsyncPhase,
+    published: usize,
+    t_cache: KvCache,
+    /// Draft lease between admission and draft-thread spawn (and for the
+    /// no-thread budgets, until completion).
+    d_cache: Option<KvCache>,
+    vision: VisionPlan,
+    /// Idle-stall edge detector: counts transitions, not poll iterations.
+    was_idle: bool,
+}
+
+/// One async pipeline slot: a mutex instead of the sync scheduler's
+/// whole-vector lock, so free-running workers claim sessions
+/// independently (`try_lock` skips slots another worker is stepping).
+struct AsyncSlot {
+    ws: Workspace,
+    active: Option<AsyncActive>,
 }
 
 /// A request waiting for blocks: no leases held while queued.
@@ -316,6 +466,13 @@ pub struct Engine {
     /// Held for the whole of a tick; submit/poll/cancel never take it.
     slots: Mutex<Vec<Slot>>,
     work_cv: Condvar,
+    /// Async-pipeline slots (`cfg.async_pipeline`); per-slot locks so
+    /// free-running workers step disjoint sessions without a global lock.
+    pslots: Vec<Mutex<AsyncSlot>>,
+    /// Occupied async slots; admission bumps it under the qstate lock so
+    /// the until-idle exit check cannot race a queue→slot transfer.
+    pipe_active: AtomicUsize,
+    pipe_signal: Arc<PipeSignal>,
 }
 
 impl Engine {
@@ -355,6 +512,14 @@ impl Engine {
                 active: None,
             })
             .collect();
+        let pslots = (0..cfg.slots)
+            .map(|_| {
+                Mutex::new(AsyncSlot {
+                    ws: Workspace::new(),
+                    active: None,
+                })
+            })
+            .collect();
         let engine = Arc::new(Self {
             cfg,
             model,
@@ -369,6 +534,9 @@ impl Engine {
             }),
             slots: Mutex::new(slots),
             work_cv: Condvar::new(),
+            pslots,
+            pipe_active: AtomicUsize::new(0),
+            pipe_signal: Arc::new(PipeSignal::new()),
         });
         engine
             .metrics
@@ -412,6 +580,7 @@ impl Engine {
         self.metrics.queue_depth.set(q.queue.len() as u64);
         drop(q);
         self.work_cv.notify_all();
+        self.pipe_signal.notify();
         Ok(handle)
     }
 
@@ -580,9 +749,14 @@ impl Engine {
 
     /// Drive the engine until queue and slots are empty (synchronous mode,
     /// used by benches and tests; the server runs [`Engine::tick`] on a
-    /// scheduler thread instead).
+    /// scheduler thread instead). With `cfg.async_pipeline` this runs the
+    /// free-running pipeline to completion instead.
     pub fn run_until_idle(&self) {
-        while self.tick() || !self.qstate.lock().unwrap().queue.is_empty() {}
+        if self.cfg.async_pipeline {
+            self.run_pipeline(None);
+        } else {
+            while self.tick() || !self.qstate.lock().unwrap().queue.is_empty() {}
+        }
     }
 
     /// Park until work arrives or the timeout elapses (scheduler-thread
@@ -613,6 +787,12 @@ impl Engine {
         let slots = self.slots.lock().unwrap();
         for slot in slots.iter() {
             if let Some(a) = &slot.active {
+                a.handle.cancel();
+            }
+        }
+        drop(slots);
+        for slot in &self.pslots {
+            if let Some(a) = &slot.lock().unwrap().active {
                 a.handle.cancel();
             }
         }
@@ -830,21 +1010,19 @@ impl Engine {
         }
     }
 
-    /// Prefill the session's leased caches for `req` and build its decode
-    /// session. On a vision-cache hit the target lease already carries the
-    /// `n_img` prefix, so only the text leg runs.
-    fn prefill(
+    /// Target-side prefill for `req` → the pending (first decided) token.
+    /// On a vision-cache hit the target lease already carries the `n_img`
+    /// prefix, so only the text leg runs. Shared verbatim by the sync
+    /// scheduler and the async pipeline — prefill is what makes streams
+    /// identical between them, so there is exactly one implementation.
+    fn prefill_target(
         &self,
         req: &Request,
         t_cache: &mut KvCache,
-        d_cache: &mut Option<KvCache>,
         vision: &VisionPlan,
         ws: &mut Workspace,
-    ) -> Phase {
+    ) -> u32 {
         let target = self.model.target_lm();
-        let draft = self.model.draft();
-
-        // Target prefill → the pending token.
         let pending = match (&self.model, vision) {
             (EngineModel::Text { .. }, _) => {
                 debug_assert!(t_cache.is_empty());
@@ -873,9 +1051,81 @@ impl Engine {
         // The lease was sized from the request alone; the actual prefill
         // must land exactly on that plan or the capacity/budget identity
         // (and with it stream-equivalence to the one-shot loops) breaks.
-        let plan = self.lease_plan(req);
-        debug_assert_eq!(t_cache.len(), plan.t_prefix, "t prefix != plan");
+        debug_assert_eq!(
+            t_cache.len(),
+            self.lease_plan(req).t_prefix,
+            "t prefix != plan"
+        );
+        pending
+    }
 
+    /// Draft-side prefill for a speculative `req`: text prompt, preceded
+    /// in the multimodal case by the ablation-selected vision prefix
+    /// (hybrid cache, same seeding as `mm_speculative_ws`). A vision-
+    /// cache hit appends the cached projected rows instead of re-running
+    /// the projector. Also shared by both schedulers.
+    fn seed_draft_caches(
+        &self,
+        req: &Request,
+        t_cache: &mut KvCache,
+        d_cache: &mut KvCache,
+        vision: &VisionPlan,
+        ws: &mut Workspace,
+    ) {
+        let draft = self.model.draft();
+        match (&self.model, vision) {
+            (EngineModel::Text { .. }, _) => {
+                let mut d_logits = ws.take(req.prompt.len() * draft.cfg.vocab);
+                draft.forward_infer_ws(&req.prompt, d_cache, ws, &mut d_logits);
+                ws.give(d_logits);
+            }
+            (
+                EngineModel::Multimodal {
+                    model,
+                    projector,
+                    ablation,
+                    ..
+                },
+                plan,
+            ) => {
+                let seeded_from_cache = match plan {
+                    VisionPlan::Hit { hash } => self.seed_draft_from_cache(*hash, d_cache),
+                    _ => false,
+                };
+                if !seeded_from_cache {
+                    seed_draft_prefix(model, Some(projector), *ablation, t_cache, d_cache);
+                }
+                if let VisionPlan::Miss { hash, .. } = plan {
+                    self.populate_vision_cache(*hash, t_cache, Some(d_cache));
+                }
+                if !ablation.drop_text_kv {
+                    let mut d_logits = ws.take(req.prompt.len() * draft.cfg.vocab);
+                    draft.forward_infer_ws(&req.prompt, d_cache, ws, &mut d_logits);
+                    ws.give(d_logits);
+                }
+            }
+        }
+        debug_assert_eq!(
+            d_cache.len(),
+            self.lease_plan(req).d_prefix,
+            "d prefix != plan"
+        );
+    }
+
+    /// Prefill the session's leased caches for `req` and build its decode
+    /// session (sync scheduler).
+    fn prefill(
+        &self,
+        req: &Request,
+        t_cache: &mut KvCache,
+        d_cache: &mut Option<KvCache>,
+        vision: &VisionPlan,
+        ws: &mut Workspace,
+    ) -> Phase {
+        let target = self.model.target_lm();
+        let draft = self.model.draft();
+        let pending = self.prefill_target(req, t_cache, vision, ws);
+        let plan = self.lease_plan(req);
         match req.mode {
             DecodeMode::Autoregressive => {
                 let budget = req.max_new.min(target.cfg.max_seq + 1 - t_cache.len());
@@ -884,48 +1134,11 @@ impl Engine {
             }
             DecodeMode::Speculative { gamma } => {
                 let d_cache = d_cache.as_mut().expect("spec admission leases a draft");
-                // Draft prefill: text prompt, preceded in the multimodal
-                // case by the ablation-selected vision prefix (hybrid
-                // cache, same seeding as `mm_speculative_ws`). A vision-
-                // cache hit appends the cached projected rows instead of
-                // re-running the projector.
-                match (&self.model, vision) {
-                    (EngineModel::Text { .. }, _) => {
-                        let mut d_logits = ws.take(req.prompt.len() * draft.cfg.vocab);
-                        draft.forward_infer_ws(&req.prompt, d_cache, ws, &mut d_logits);
-                        ws.give(d_logits);
-                    }
-                    (
-                        EngineModel::Multimodal {
-                            model,
-                            projector,
-                            ablation,
-                            ..
-                        },
-                        plan,
-                    ) => {
-                        let seeded_from_cache = match plan {
-                            VisionPlan::Hit { hash } => self.seed_draft_from_cache(*hash, d_cache),
-                            _ => false,
-                        };
-                        if !seeded_from_cache {
-                            seed_draft_prefix(model, Some(projector), *ablation, t_cache, d_cache);
-                        }
-                        if let VisionPlan::Miss { hash, .. } = plan {
-                            self.populate_vision_cache(*hash, t_cache, Some(d_cache));
-                        }
-                        if !ablation.drop_text_kv {
-                            let mut d_logits = ws.take(req.prompt.len() * draft.cfg.vocab);
-                            draft.forward_infer_ws(&req.prompt, d_cache, ws, &mut d_logits);
-                            ws.give(d_logits);
-                        }
-                    }
-                }
+                self.seed_draft_caches(req, t_cache, d_cache, vision, ws);
                 let budget = req
                     .max_new
                     .min(target.cfg.max_seq + 1 - t_cache.len())
                     .min(draft.cfg.max_seq + 1 - d_cache.len());
-                debug_assert_eq!(d_cache.len(), plan.d_prefix, "d prefix != plan");
                 debug_assert_eq!(budget, plan.budget);
                 let mut session =
                     SpecSession::new(target, draft, t_cache, d_cache, pending, budget, gamma);
@@ -1034,6 +1247,471 @@ impl Engine {
         };
         active.handle.finish(Status::Done, stats);
         self.metrics.requests_completed.inc();
+    }
+
+    // ------------------------------------------------------------------
+    // Asynchronous draft/target pipeline (`cfg.async_pipeline`)
+    // ------------------------------------------------------------------
+
+    /// Free-running async scheduler: spawns `cfg.workers` scoped target
+    /// workers that admit, prefill, verify, and complete sessions
+    /// continuously — no per-tick barrier — while each speculative
+    /// session's dedicated draft thread speculates ahead through its SPSC
+    /// ring. With `stop: None` the call returns once queue and slots are
+    /// drained (bench/test mode); with a stop flag it runs until the flag
+    /// is raised (server mode), leaving in-flight sessions for
+    /// [`Engine::drain_pipeline`].
+    ///
+    /// Streams are byte-identical to the synchronous scheduler at any
+    /// worker count: the verify leg alone commits tokens, and every
+    /// commit is the target model's own argmax (see `aasd-specdec`'s
+    /// `pipeline` module for the argument).
+    pub fn run_pipeline(&self, stop: Option<&AtomicBool>) {
+        assert!(
+            self.cfg.async_pipeline,
+            "run_pipeline requires cfg.async_pipeline"
+        );
+        if self.cfg.workers == 1 {
+            // No point paying a scoped spawn for the single-worker case.
+            self.pipeline_worker(stop);
+            return;
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..self.cfg.workers {
+                scope.spawn(|| self.pipeline_worker(stop));
+            }
+        });
+    }
+
+    /// One target worker: sweep the slots, stepping whichever sessions
+    /// are not already being stepped by another worker (per-slot
+    /// `try_lock` — sessions are never stepped concurrently, workers just
+    /// claim different ones). Parks briefly when a sweep makes no
+    /// progress.
+    fn pipeline_worker(&self, stop: Option<&AtomicBool>) {
+        let mut idle_sweeps = 0u32;
+        let mut wakes: Vec<Arc<DraftLink>> = Vec::new();
+        loop {
+            if let Some(flag) = stop {
+                if flag.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            let mut progressed = self.pipeline_refill();
+            for slot in &self.pslots {
+                if let Ok(mut guard) = slot.try_lock() {
+                    progressed |= self.pipeline_step(&mut guard, &mut wakes);
+                }
+            }
+            if !wakes.is_empty() {
+                // Draft wakeups deferred out of the sweep: waking a draft
+                // mid-sweep invites it to preempt the next session's
+                // target pass (and trash its cache working set) on a
+                // single-core host. Notify here, then yield once so every
+                // woken draft refills its ring before the next sweep.
+                for link in wakes.drain(..) {
+                    link.notify_draft();
+                }
+                std::thread::yield_now();
+            }
+            if progressed {
+                idle_sweeps = 0;
+                self.metrics.scheduler_ticks.inc();
+            } else {
+                if stop.is_none() {
+                    // Until-idle exit: the queue→slot transfer happens
+                    // entirely under the qstate lock (pop + pipe_active
+                    // bump), so this check cannot observe a request in
+                    // neither place.
+                    let q = self.qstate.lock().unwrap();
+                    if q.queue.is_empty() && self.pipe_active.load(Ordering::Acquire) == 0 {
+                        return;
+                    }
+                    drop(q);
+                }
+                idle_sweeps += 1;
+                if idle_sweeps <= 2 {
+                    // An idle sweep usually means the rings are mid-refill.
+                    // Yielding hands the core straight to the runnable
+                    // draft threads (they only need tens of µs per chain),
+                    // where a timed park would add wakeup latency to every
+                    // block on a single-core host.
+                    std::thread::yield_now();
+                } else {
+                    self.pipe_signal.wait(Duration::from_millis(1));
+                }
+            }
+        }
+    }
+
+    /// Admit queued requests into vacant async slots (FIFO with
+    /// head-of-line blocking, exactly like the sync `refill`).
+    fn pipeline_refill(&self) -> bool {
+        let mut q = self.qstate.lock().unwrap();
+        let mut admitted = false;
+        'slots: for slot in &self.pslots {
+            let Ok(mut guard) = slot.try_lock() else {
+                continue;
+            };
+            if guard.active.is_some() {
+                continue;
+            }
+            let next = loop {
+                match q.queue.pop_front() {
+                    Some(qd) if qd.handle.is_cancel_requested() => {
+                        qd.handle.finish(Status::Cancelled, None);
+                        self.metrics.requests_cancelled.inc();
+                    }
+                    other => break other,
+                }
+            };
+            let Some(queued) = next else { break };
+            match self.admit(&queued.req) {
+                Some((t_cache, d_cache, vision)) => {
+                    queued.handle.mark_running();
+                    guard.active = Some(AsyncActive {
+                        handle: queued.handle,
+                        phase: AsyncPhase::Prefill(queued.req),
+                        published: 0,
+                        t_cache,
+                        d_cache,
+                        vision,
+                        was_idle: false,
+                    });
+                    self.pipe_active.fetch_add(1, Ordering::Release);
+                    admitted = true;
+                }
+                None => {
+                    // Not enough free blocks: the head waits (FIFO).
+                    q.queue.push_front(queued);
+                    break 'slots;
+                }
+            }
+        }
+        self.metrics.queue_depth.set(q.queue.len() as u64);
+        self.metrics
+            .active_sessions
+            .set(self.pipe_active.load(Ordering::Relaxed) as u64);
+        self.metrics
+            .kv_free_blocks_target
+            .set(self.t_pool.free_blocks() as u64);
+        self.metrics
+            .kv_free_blocks_draft
+            .set(self.d_pool.free_blocks() as u64);
+        admitted
+    }
+
+    /// Advance one async slot. Prefill on the first turn (spawning the
+    /// session's draft thread); afterwards one verify step against
+    /// whatever the draft has queued. Returns whether anything advanced.
+    fn pipeline_step(&self, slot: &mut AsyncSlot, wakes: &mut Vec<Arc<DraftLink>>) -> bool {
+        let AsyncSlot { ws, active: cell } = slot;
+        let Some(active) = cell.as_mut() else {
+            return false;
+        };
+        if active.handle.is_cancel_requested() {
+            self.finish_async(cell, Status::Cancelled, Instant::now() + DRAFT_JOIN_TIMEOUT);
+            return true;
+        }
+        let started = Instant::now();
+
+        let req = match &active.phase {
+            AsyncPhase::Prefill(req) => Some(req.clone()),
+            _ => None,
+        };
+        if let Some(req) = req {
+            let target = self.model.target_lm();
+            let draft = self.model.draft();
+            let pending = self.prefill_target(&req, &mut active.t_cache, &active.vision, ws);
+            match req.mode {
+                DecodeMode::Autoregressive => {
+                    let budget = req
+                        .max_new
+                        .min(target.cfg.max_seq + 1 - active.t_cache.len());
+                    active.phase =
+                        AsyncPhase::Ar(ArSession::new(target, &active.t_cache, pending, budget));
+                }
+                DecodeMode::Speculative { gamma } => {
+                    let d_cache = active
+                        .d_cache
+                        .as_mut()
+                        .expect("spec admission leases a draft");
+                    self.seed_draft_caches(&req, &mut active.t_cache, d_cache, &active.vision, ws);
+                    let budget = req
+                        .max_new
+                        .min(target.cfg.max_seq + 1 - active.t_cache.len())
+                        .min(draft.cfg.max_seq + 1 - d_cache.len());
+                    let mut verify = VerifyHalf::new(
+                        target,
+                        &active.t_cache,
+                        d_cache.len(),
+                        pending,
+                        budget,
+                        gamma,
+                    );
+                    if self.cfg.adaptive_gamma {
+                        let ratio = draft.n_params() as f64 / target.n_params() as f64;
+                        verify.enable_adaptive_gamma(AdaptiveGamma::new(ratio));
+                    }
+                    let link = Arc::new(DraftLink::new(verify.depth_hint()));
+                    // Budgets ≤ 2 never consume a proposal (the pending
+                    // commit plus at most one plain decode), so they get
+                    // no draft thread; the unused lease drops at finish.
+                    let draft_join = if budget >= 3 {
+                        let d_lease = active.d_cache.take().expect("checked above");
+                        Some(self.spawn_draft(d_lease, pending, Arc::clone(&link)))
+                    } else {
+                        None
+                    };
+                    active.phase = AsyncPhase::Spec {
+                        verify,
+                        link,
+                        draft_join,
+                    };
+                }
+            }
+            // Publish the prefill-decided first token (TTFT = queue wait
+            // + prefill, matching the sync scheduler).
+            let (tokens_now, done) = match &active.phase {
+                AsyncPhase::Spec { verify, .. } => {
+                    active.handle.push_tokens(verify.tokens());
+                    (verify.tokens().len(), verify.is_done())
+                }
+                AsyncPhase::Ar(s) => {
+                    active.handle.push_tokens(s.tokens());
+                    (s.tokens().len(), s.is_done())
+                }
+                AsyncPhase::Prefill(_) => unreachable!(),
+            };
+            debug_assert_eq!(tokens_now, 1);
+            active.published = tokens_now;
+            self.metrics.tokens_generated.add(tokens_now as u64);
+            if let Some(ttft) = active.handle.ttft_ms() {
+                self.metrics.ttft_ms.record_ms(ttft);
+            }
+            if done {
+                self.finish_async(cell, Status::Done, Instant::now() + DRAFT_JOIN_TIMEOUT);
+            }
+            return true;
+        }
+
+        match &mut active.phase {
+            AsyncPhase::Spec {
+                verify,
+                link,
+                draft_join,
+            } => {
+                // Depth gate: a verify pass costs one full target weight
+                // sweep however shallow the chain, so hold off until the
+                // ring carries a full `ready_depth()` chain — unless the
+                // draft cannot deepen it (parked at its KV frontier,
+                // stopped, or never spawned), where waiting would idle
+                // forever.
+                let draft_blocked = draft_join.is_none()
+                    || link.stalled.load(Ordering::Acquire)
+                    || link.exited.load(Ordering::Acquire);
+                if !draft_blocked && link.ring.len() < verify.ready_depth() {
+                    if !active.was_idle {
+                        active.was_idle = true;
+                        self.metrics.verify_idle_stalls.inc();
+                    }
+                    return false;
+                }
+                let report = verify.try_step_block(
+                    self.model.target_lm(),
+                    &mut active.t_cache,
+                    &link.ring,
+                    ws,
+                );
+                // Re-publish the depth budget every block so AdaptiveGamma
+                // keeps bounding the in-flight speculation.
+                link.depth_cap.store(verify.depth_hint(), Ordering::Relaxed);
+                if report.rolled_back {
+                    self.metrics.draft_rollbacks.inc();
+                }
+                if report.progressed || report.rolled_back {
+                    // Any consumed ring token (pops, an expect-resolution,
+                    // a rollback) can be what a parked draft is waiting
+                    // on — and parks are untimed, so a missed wake here is
+                    // a livelock, not a latency blip. Wake unconditionally
+                    // on progress.
+                    wakes.push(Arc::clone(link));
+                }
+                if report.depth > 0 {
+                    self.metrics
+                        .speculation_depth
+                        .record_ms(report.depth as f64);
+                }
+                if !report.progressed {
+                    if !active.was_idle {
+                        active.was_idle = true;
+                        self.metrics.verify_idle_stalls.inc();
+                    }
+                    return false;
+                }
+                active.was_idle = false;
+                let block_ms = started.elapsed().as_secs_f64() * 1e3;
+                self.metrics.block_ms.record_ms(block_ms);
+                if report.committed > 0 {
+                    let new = &verify.tokens()[active.published..];
+                    debug_assert_eq!(new.len(), report.committed);
+                    active.handle.push_tokens(new);
+                    active.published += report.committed;
+                    self.metrics.tokens_generated.add(report.committed as u64);
+                    for _ in 0..report.committed {
+                        self.metrics
+                            .token_ms
+                            .record_ms(block_ms / report.committed as f64);
+                    }
+                }
+                if report.done {
+                    self.finish_async(cell, Status::Done, Instant::now() + DRAFT_JOIN_TIMEOUT);
+                }
+                true
+            }
+            AsyncPhase::Ar(session) => {
+                let report = session.step(self.model.target_lm(), &mut active.t_cache, ws);
+                let block_ms = started.elapsed().as_secs_f64() * 1e3;
+                self.metrics.block_ms.record_ms(block_ms);
+                if report.committed > 0 {
+                    let new = &session.tokens()[active.published..];
+                    active.handle.push_tokens(new);
+                    active.published += report.committed;
+                    self.metrics.tokens_generated.add(report.committed as u64);
+                    self.metrics.token_ms.record_ms(block_ms);
+                }
+                if report.done {
+                    self.finish_async(cell, Status::Done, Instant::now() + DRAFT_JOIN_TIMEOUT);
+                }
+                true
+            }
+            AsyncPhase::Prefill(_) => unreachable!("handled above"),
+        }
+    }
+
+    /// Spawn a session's dedicated draft worker. It owns the draft lease
+    /// (returned to the pool when the thread exits), free-runs the
+    /// speculation chain up to the published depth cap, and honors
+    /// rollbacks before anything else.
+    fn spawn_draft(
+        &self,
+        mut d_cache: KvCache,
+        pending: u32,
+        link: Arc<DraftLink>,
+    ) -> std::thread::JoinHandle<()> {
+        let draft = self.model.draft_arc();
+        let metrics = Arc::clone(&self.metrics);
+        let signal = Arc::clone(&self.pipe_signal);
+        std::thread::Builder::new()
+            .name("aasd-draft".into())
+            .spawn(move || {
+                let mut ws = Workspace::new();
+                let mut ahead = DraftAhead::new(&mut d_cache, pending);
+                ahead.set_confidence_threshold(CONFIDENCE_STOP);
+                let mut stalled = false;
+                while !link.stop.load(Ordering::Acquire) {
+                    // Eventcount order matters: sample the generation
+                    // BEFORE the condition check inside `step`, so a
+                    // notify racing the check bumps the generation and the
+                    // park below returns immediately instead of sleeping
+                    // through it.
+                    let gen = link.park_generation();
+                    let cap = link.depth_cap.load(Ordering::Relaxed);
+                    match ahead.step(&draft, &mut d_cache, &link.ring, cap, &mut ws) {
+                        DraftStep::Produced | DraftStep::RolledBack => {
+                            if stalled {
+                                stalled = false;
+                                link.stalled.store(false, Ordering::Release);
+                            }
+                        }
+                        DraftStep::AtDepthCap
+                        | DraftStep::AtCapacity
+                        | DraftStep::LowConfidence => {
+                            if !stalled {
+                                stalled = true;
+                                link.stalled.store(true, Ordering::Release);
+                                metrics.ring_full_stalls.inc();
+                                // The chain is as deep as it should get —
+                                // full depth, lease frontier, or a
+                                // below-threshold token: wake the verify
+                                // side. Notifying here — not per token —
+                                // means verify wakes to a chain worth a
+                                // whole target pass.
+                                signal.notify();
+                            }
+                            // Parked, not spinning and not polling: a
+                            // parked draft burns zero cycles and causes
+                            // zero preemptions until verify pops, rolls
+                            // back, or stops the session.
+                            link.park_until_notified(gen);
+                        }
+                    }
+                }
+                link.exited.store(true, Ordering::Release);
+                // `d_cache` drops here: the draft lease returns to the pool.
+            })
+            .expect("failed to spawn draft worker")
+    }
+
+    /// Stop a session's draft thread and join it, bounded by `deadline`.
+    /// `notify_draft` bumps the park generation so a parked draft wakes
+    /// immediately; if the bound is ever exceeded the handle is dropped
+    /// (the thread detaches and exits on its next stop check) instead of
+    /// wedging shutdown.
+    fn stop_draft(link: &DraftLink, join: Option<std::thread::JoinHandle<()>>, deadline: Instant) {
+        let Some(handle) = join else { return };
+        link.stop.store(true, Ordering::Release);
+        link.notify_draft();
+        while !link.exited.load(Ordering::Acquire) {
+            if Instant::now() >= deadline {
+                return; // detach rather than block shutdown
+            }
+            std::thread::yield_now();
+        }
+        let _ = handle.join();
+    }
+
+    /// Async completion bookkeeping: stop the draft leg, merge stats,
+    /// finish the handle, release the slot.
+    fn finish_async(&self, cell: &mut Option<AsyncActive>, status: Status, join_deadline: Instant) {
+        let active = cell.take().expect("finishing an empty slot");
+        let stats = match active.phase {
+            AsyncPhase::Spec {
+                verify,
+                link,
+                draft_join,
+            } => {
+                Self::stop_draft(&link, draft_join, join_deadline);
+                let (_, stats) = verify.into_parts();
+                self.metrics.merge_spec_stats(&stats);
+                Some(stats)
+            }
+            _ => None,
+        };
+        active.handle.finish(status, stats);
+        if status == Status::Done {
+            self.metrics.requests_completed.inc();
+        } else {
+            self.metrics.requests_cancelled.inc();
+        }
+        self.pipe_active.fetch_sub(1, Ordering::Release);
+        // A slot freed: wake parked workers so refill runs promptly.
+        self.pipe_signal.notify();
+    }
+
+    /// Finish every in-flight async session after [`Engine::run_pipeline`]
+    /// returned with its stop flag raised (server shutdown): each
+    /// session's draft thread is stopped and joined under the shared
+    /// `timeout`, the handle finished `Cancelled` — so a session caught
+    /// mid-speculation can never leak a parked thread or a KV lease.
+    pub fn drain_pipeline(&self, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        for slot in &self.pslots {
+            let mut guard = slot.lock().unwrap();
+            if guard.active.is_some() {
+                self.finish_async(&mut guard.active, Status::Cancelled, deadline);
+            }
+        }
     }
 }
 
@@ -1575,5 +2253,285 @@ mod tests {
             assert_eq!(h.snapshot(), (Status::Done, w.clone()));
         }
         assert_eq!(engine0.metrics().vision_cache_hits.get(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Async pipeline (`cfg.async_pipeline`)
+    // ------------------------------------------------------------------
+
+    fn async_text_engine(slots: usize, workers: usize, max_queue: usize) -> Arc<Engine> {
+        let target = Arc::new(Decoder::new(DecoderConfig::tiny(40), 10));
+        let draft = Arc::new(Decoder::new(DecoderConfig::tiny(40), 20));
+        Engine::new(
+            EngineModel::Text { target, draft },
+            EngineConfig {
+                slots,
+                workers,
+                max_queue,
+                async_pipeline: true,
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    /// The async pipeline must stream byte-identically to the fused loop
+    /// (and hence to the sync scheduler) for every request, at 1, 2, and 4
+    /// target workers — the interleaving of draft and verify threads can
+    /// shift *which* blocks speculation lands in, never a committed token.
+    #[test]
+    fn async_pipeline_streams_match_fused_loop_at_any_worker_count() {
+        let target = Decoder::new(DecoderConfig::tiny(40), 10);
+        let draft = Decoder::new(DecoderConfig::tiny(40), 20);
+        let mut ws = Workspace::new();
+        let prompts: Vec<Vec<u32>> = (0..5)
+            .map(|i| vec![1 + i as u32, 7, (i * 3 % 11) as u32])
+            .collect();
+        let want: Vec<Vec<u32>> = prompts
+            .iter()
+            .map(|p| {
+                speculative_greedy_with_budget_ws(
+                    &target,
+                    &draft,
+                    p,
+                    12 + p[0] as usize,
+                    3,
+                    &mut ws,
+                )
+                .0
+            })
+            .collect();
+        for workers in [1usize, 2, 4] {
+            let engine = async_text_engine(2, workers, 16);
+            let handles: Vec<_> = prompts
+                .iter()
+                .map(|p| {
+                    engine
+                        .submit(spec_req(p.clone(), 12 + p[0] as usize, 3))
+                        .unwrap()
+                })
+                .collect();
+            engine.run_until_idle();
+            for ((h, w), p) in handles.iter().zip(&want).zip(&prompts) {
+                let (status, tokens) = h.snapshot();
+                assert_eq!(status, Status::Done, "workers={workers} prompt={p:?}");
+                assert_eq!(&tokens, w, "workers={workers} prompt={p:?} diverged");
+            }
+            assert_eq!(engine.metrics().requests_completed.get(), 5);
+            // Every lease (draft threads included) returned to the pools.
+            assert_eq!(engine.t_pool.free_blocks(), engine.t_pool.total_blocks());
+            assert_eq!(engine.d_pool.free_blocks(), engine.d_pool.total_blocks());
+            // The pipeline actually speculated (depth histogram populated).
+            assert!(engine.metrics().speculation_depth.count() > 0);
+        }
+    }
+
+    /// AR requests flow through the async scheduler too, matching the
+    /// fused AR loop.
+    #[test]
+    fn async_pipeline_serves_ar() {
+        let engine = async_text_engine(1, 1, 8);
+        let target = Decoder::new(DecoderConfig::tiny(40), 10);
+        let mut ws = Workspace::new();
+        let prompt = vec![5u32, 2, 8];
+        let want = autoregressive_greedy_with_budget_ws(&target, &prompt, 15, &mut ws);
+        let h = engine
+            .submit(Request {
+                prompt,
+                max_new: 15,
+                mode: DecodeMode::Autoregressive,
+                image_seed: None,
+            })
+            .unwrap();
+        engine.run_until_idle();
+        assert_eq!(h.snapshot(), (Status::Done, want));
+    }
+
+    /// Degenerate budgets (1 and 2 committed tokens) never spawn a draft
+    /// thread yet still complete losslessly.
+    #[test]
+    fn async_pipeline_degenerate_budgets() {
+        let engine = async_text_engine(1, 1, 8);
+        let target = Decoder::new(DecoderConfig::tiny(40), 10);
+        let draft = Decoder::new(DecoderConfig::tiny(40), 20);
+        let mut ws = Workspace::new();
+        for max_new in [1usize, 2] {
+            let prompt = vec![3u32, 7, 1, 9];
+            let (want, _) =
+                speculative_greedy_with_budget_ws(&target, &draft, &prompt, max_new, 4, &mut ws);
+            let h = engine.submit(spec_req(prompt, max_new, 4)).unwrap();
+            engine.run_until_idle();
+            assert_eq!(h.snapshot(), (Status::Done, want), "max_new={max_new}");
+        }
+        assert_eq!(engine.d_pool.free_blocks(), engine.d_pool.total_blocks());
+    }
+
+    /// Adaptive γ under the async pipeline: the depth cap breathes with
+    /// the acceptance rate but no committed token may move.
+    #[test]
+    fn async_pipeline_adaptive_gamma_is_lossless() {
+        let target = Arc::new(Decoder::new(DecoderConfig::tiny(40), 10));
+        let draft = Arc::new(Decoder::new(DecoderConfig::tiny(40), 20));
+        let engine = Engine::new(
+            EngineModel::Text {
+                target: Arc::clone(&target),
+                draft: Arc::clone(&draft),
+            },
+            EngineConfig {
+                adaptive_gamma: true,
+                async_pipeline: true,
+                ..EngineConfig::default()
+            },
+        );
+        let mut ws = Workspace::new();
+        for (i, prompt) in [vec![3u32, 7, 1, 9], vec![5, 2], vec![8, 8, 8]]
+            .into_iter()
+            .enumerate()
+        {
+            let budget = 20 + i;
+            let (want, _) =
+                speculative_greedy_with_budget_ws(&target, &draft, &prompt, budget, 4, &mut ws);
+            let h = engine.submit(spec_req(prompt, budget, 4)).unwrap();
+            engine.run_until_idle();
+            assert_eq!(h.snapshot(), (Status::Done, want), "request {i}");
+        }
+    }
+
+    /// Cancelling a running async session stops the draft thread, keeps
+    /// the committed prefix (a prefix of the true completion), and frees
+    /// both leases for the next request.
+    #[test]
+    fn async_pipeline_cancel_mid_flight() {
+        let engine = async_text_engine(1, 1, 8);
+        let target = Decoder::new(DecoderConfig::tiny(40), 10);
+        let draft = Decoder::new(DecoderConfig::tiny(40), 20);
+        let mut ws = Workspace::new();
+        let h1 = engine.submit(spec_req(vec![3, 7, 1, 9], 60, 3)).unwrap();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                // Let a few blocks commit, then cancel mid-flight.
+                while h1.snapshot().1.len() < 3 {
+                    std::thread::yield_now();
+                }
+                assert!(engine.cancel(h1.id));
+            });
+            engine.run_until_idle();
+        });
+        let (s1, t1) = h1.snapshot();
+        assert_eq!(s1, Status::Cancelled);
+        assert!(!t1.is_empty(), "committed prefix survives cancel");
+        let (want, _) =
+            speculative_greedy_with_budget_ws(&target, &draft, &[3, 7, 1, 9], 60, 3, &mut ws);
+        assert_eq!(t1[..], want[..t1.len()], "prefix must match true stream");
+        assert_eq!(engine.metrics().requests_cancelled.get(), 1);
+        // Draft thread joined, leases back in the pools.
+        assert_eq!(engine.t_pool.free_blocks(), engine.t_pool.total_blocks());
+        assert_eq!(engine.d_pool.free_blocks(), engine.d_pool.total_blocks());
+        // The slot is reusable after the cancel.
+        let (want2, _) =
+            speculative_greedy_with_budget_ws(&target, &draft, &[5, 2], 10, 3, &mut ws);
+        let h2 = engine.submit(spec_req(vec![5, 2], 10, 3)).unwrap();
+        engine.run_until_idle();
+        assert_eq!(h2.snapshot(), (Status::Done, want2));
+    }
+
+    /// `drain_pipeline` after a stopped `run_pipeline` finishes in-flight
+    /// sessions with a terminal status and joins their draft threads —
+    /// the server's SHUTDOWN path in miniature.
+    #[test]
+    fn async_pipeline_drain_finishes_in_flight_sessions() {
+        let engine = async_text_engine(2, 1, 8);
+        let stop = AtomicBool::new(false);
+        let h = engine.submit(spec_req(vec![3, 7, 1, 9], 60, 3)).unwrap();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                while h.snapshot().1.len() < 2 {
+                    std::thread::yield_now();
+                }
+                stop.store(true, Ordering::Release);
+            });
+            engine.run_pipeline(Some(&stop));
+        });
+        let drained = Instant::now();
+        engine.cancel_all();
+        engine.drain_pipeline(Duration::from_secs(5));
+        assert!(
+            drained.elapsed() < Duration::from_secs(5),
+            "drain must not exhaust its bound"
+        );
+        assert_eq!(h.snapshot().0, Status::Cancelled);
+        assert_eq!(engine.t_pool.free_blocks(), engine.t_pool.total_blocks());
+        assert_eq!(engine.d_pool.free_blocks(), engine.d_pool.total_blocks());
+        assert_eq!(engine.pipe_active.load(Ordering::Acquire), 0);
+    }
+
+    /// Multimodal requests through the async pipeline: hybrid-cache
+    /// speculation with a free-running draft still matches
+    /// `mm_speculative_ws` exactly.
+    #[test]
+    fn async_pipeline_multimodal_is_lossless() {
+        use aasd_mm::{draft_for, mm_speculative_ws, LlavaSimConfig};
+        let cfg = LlavaSimConfig::tiny(40, 96);
+        let model = Arc::new(LlavaSim::new(cfg.clone(), 0xB0));
+        let draft = Arc::new(draft_for(&cfg, 0xB1));
+        let projector = Arc::new(KvProjector::new(
+            0xB2,
+            draft.cfg.n_layers,
+            cfg.lm.n_layers,
+            cfg.n_img(),
+            cfg.k_slots(),
+        ));
+        let engine = Engine::new(
+            EngineModel::Multimodal {
+                model: Arc::clone(&model),
+                draft: Arc::clone(&draft),
+                projector: Arc::clone(&projector),
+                ablation: Ablation::projector(),
+            },
+            EngineConfig {
+                slots: 2,
+                workers: 2,
+                max_queue: 8,
+                vision_cache_entries: 4,
+                async_pipeline: true,
+                ..EngineConfig::default()
+            },
+        );
+        let mut ws = Workspace::new();
+        let prompt = vec![3u32, 11, 25, 7];
+        let mut handles = Vec::new();
+        let mut want = Vec::new();
+        for seed in [5u64, 9, 5] {
+            let img = Image::synthetic(
+                &mut Rng::new(seed),
+                cfg.vision.n_patches,
+                cfg.vision.patch_dim,
+            );
+            let (w, _) = mm_speculative_ws(
+                &model,
+                &draft,
+                Some(&projector),
+                Ablation::projector(),
+                &img,
+                &prompt,
+                18,
+                3,
+                &mut ws,
+            );
+            want.push(w);
+            handles.push(
+                engine
+                    .submit(Request {
+                        prompt: prompt.clone(),
+                        max_new: 18,
+                        mode: DecodeMode::Speculative { gamma: 3 },
+                        image_seed: Some(seed),
+                    })
+                    .unwrap(),
+            );
+        }
+        engine.run_until_idle();
+        for (h, w) in handles.iter().zip(&want) {
+            assert_eq!(h.snapshot(), (Status::Done, w.clone()));
+        }
     }
 }

@@ -47,6 +47,16 @@ impl Server {
         let sched_thread = std::thread::Builder::new()
             .name("aasd-sched".into())
             .spawn(move || {
+                if sched_engine.config().async_pipeline {
+                    // Free-running pipeline: blocks until the stop flag is
+                    // raised, then cancels what's left and joins every
+                    // session's draft thread under a bounded timeout so
+                    // shutdown can never leak a parked thread.
+                    sched_engine.run_pipeline(Some(&sched_stop));
+                    sched_engine.cancel_all();
+                    sched_engine.drain_pipeline(Duration::from_secs(5));
+                    return;
+                }
                 while !sched_stop.load(Ordering::Acquire) {
                     if !sched_engine.tick() {
                         sched_engine.wait_for_work(Duration::from_millis(5));

@@ -40,10 +40,14 @@
 
 pub mod adaptive;
 pub mod metrics;
+pub mod pipeline;
+pub mod ring;
 pub mod session;
 
 pub use adaptive::AdaptiveGamma;
 pub use metrics::SpecStats;
+pub use pipeline::{DraftAhead, DraftStep, VerifyHalf, VerifyReport, CONFIDENCE_STOP};
+pub use ring::{Rollback, SpscRing};
 pub use session::{ArSession, SpecSession, StepReport};
 
 use aasd_nn::{Decoder, KvCache};

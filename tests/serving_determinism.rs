@@ -37,6 +37,14 @@ fn workload(n: usize) -> Vec<Request> {
 }
 
 fn run_text_engine(workers: usize, reqs: &[Request]) -> Vec<(Status, Vec<u32>)> {
+    run_text_engine_cfg(workers, false, reqs)
+}
+
+fn run_text_engine_cfg(
+    workers: usize,
+    async_pipeline: bool,
+    reqs: &[Request],
+) -> Vec<(Status, Vec<u32>)> {
     let target = Arc::new(Decoder::new(DecoderConfig::tiny(40), 10));
     let draft = Arc::new(Decoder::new(DecoderConfig::tiny(40), 20));
     let engine = Engine::new(
@@ -45,6 +53,7 @@ fn run_text_engine(workers: usize, reqs: &[Request]) -> Vec<(Status, Vec<u32>)> 
             slots: 3,
             workers,
             max_queue: 64,
+            async_pipeline,
             ..EngineConfig::default()
         },
     );
@@ -94,6 +103,56 @@ fn rerun_is_reproducible() {
     assert_eq!(run_text_engine(2, &reqs), run_text_engine(2, &reqs));
 }
 
+/// The async draft/target pipeline is held to the same bar: at 1, 2, and
+/// 4 target workers — with a free-running draft thread racing each verify
+/// leg — every stream is byte-identical to the synchronous scheduler and
+/// to the fused loops. Only token streams are compared: speculation
+/// *statistics* legitimately vary with interleaving; committed tokens
+/// must not.
+#[test]
+fn async_pipeline_streams_match_sync_at_any_worker_count() {
+    let reqs = workload(10);
+    let sync = run_text_engine(1, &reqs);
+    for workers in [1usize, 2, 4] {
+        let async_run = run_text_engine_cfg(workers, true, &reqs);
+        assert_eq!(sync.len(), async_run.len());
+        for (i, (s, a)) in sync.iter().zip(&async_run).enumerate() {
+            assert_eq!(a.0, Status::Done, "async request {i} not done");
+            assert_eq!(
+                s.1, a.1,
+                "request {i} diverged between sync and async ({workers} workers)"
+            );
+        }
+    }
+    // Ground truth: the sync baseline itself matches the fused loop.
+    let target = Decoder::new(DecoderConfig::tiny(40), 10);
+    let draft = Decoder::new(DecoderConfig::tiny(40), 20);
+    let mut ws = Workspace::new();
+    for (i, req) in reqs.iter().enumerate() {
+        if let DecodeMode::Speculative { gamma } = req.mode {
+            let (want, _) = speculative_greedy_with_budget_ws(
+                &target,
+                &draft,
+                &req.prompt,
+                req.max_new,
+                gamma,
+                &mut ws,
+            );
+            assert_eq!(sync[i].1, want, "request {i} != fused loop");
+        }
+    }
+}
+
+/// Async reruns are reproducible at the stream level despite genuinely
+/// nondeterministic draft/verify interleaving.
+#[test]
+fn async_rerun_reproduces_streams() {
+    let reqs = workload(6);
+    let a = run_text_engine_cfg(2, true, &reqs);
+    let b = run_text_engine_cfg(2, true, &reqs);
+    assert_eq!(a, b);
+}
+
 /// Multimodal sessions are equally scheduler-independent: hybrid-cache
 /// speculative requests served at 4 workers match `mm_speculative_ws`.
 #[test]
@@ -117,7 +176,7 @@ fn multimodal_streams_are_worker_independent() {
             image_seed: Some(100 + i),
         })
         .collect();
-    let run = |workers: usize| {
+    let run = |workers: usize, async_pipeline: bool| {
         let engine = Engine::new(
             EngineModel::Multimodal {
                 model: Arc::clone(&model),
@@ -129,6 +188,7 @@ fn multimodal_streams_are_worker_independent() {
                 slots: 2,
                 workers,
                 max_queue: 16,
+                async_pipeline,
                 ..EngineConfig::default()
             },
         );
@@ -139,9 +199,12 @@ fn multimodal_streams_are_worker_independent() {
         engine.run_until_idle();
         handles.iter().map(|h| h.snapshot()).collect::<Vec<_>>()
     };
-    let one = run(1);
-    let four = run(4);
+    let one = run(1, false);
+    let four = run(4, false);
     assert_eq!(one, four);
+    // The async pipeline serves the same multimodal streams.
+    assert_eq!(one, run(1, true));
+    assert_eq!(one, run(4, true));
     let mut ws = Workspace::new();
     for (req, (status, tokens)) in reqs.iter().zip(&one) {
         assert_eq!(*status, Status::Done);
