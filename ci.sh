@@ -66,6 +66,22 @@ if [[ "${1:-}" != "--quick" ]]; then
         AASD_THREADS=$t cargo test -q --release -p aasd-specdec spsc_stress_hash_chain_with_rollbacks
     done
 
+    echo "==> tree gate: tree speculation losslessness + serving determinism on both kernel tiers"
+    # Tree-structured speculation must commit exactly the autoregressive
+    # stream for every tree shape, collapse byte-identically to the linear
+    # session at branching factor 1, and serve the same tokens through the
+    # engine's tree mode — on the scalar reference tier and on the host's
+    # best backend, so a tree-attention masking bug that only reproduces
+    # under one dispatch tier cannot slip through. (The perf-snapshot smoke
+    # below additionally runs the tree bench section, whose τ gate asserts
+    # the tree beats the best linear/adaptive-γ configuration at an equal
+    # verified-rows budget.)
+    AASD_KERNEL=scalar cargo test -q -p aasd --test tree_lossless
+    AASD_KERNEL=scalar cargo test -q -p aasd --test serving_determinism tree
+    cargo test -q -p aasd --test tree_lossless
+    cargo test -q -p aasd --test serving_determinism tree
+    cargo test -q -p aasd-specdec tree
+
     echo "==> kernel gate: equivalence suite on forced-scalar and host-best tiers"
     # The SIMD/int8 kernel layer must be lossless on every dispatch tier the
     # host supports. Run the tensor kernel tests plus the int8 spec≡AR suite

@@ -8,7 +8,10 @@ use crate::llava::{LlavaSim, LlavaSimConfig};
 use crate::projector::{seed_raw_vision, KvProjector};
 use crate::vision::Image;
 use aasd_nn::{Decoder, DecoderConfig, KvCache};
-use aasd_specdec::{autoregressive_greedy_seeded_ws, speculative_greedy_seeded_ws, SpecStats};
+use aasd_specdec::{
+    autoregressive_greedy_seeded_ws, speculative_greedy_seeded_ws, speculative_tree_seeded_ws,
+    SpecStats, TreeConfig,
+};
 use aasd_tensor::Workspace;
 
 /// What the draft's cache is seeded with before the speculative loop.
@@ -161,6 +164,52 @@ pub fn mm_speculative_ws(
     )
 }
 
+/// [`mm_speculative_ws`] with **tree-structured** speculation: identical
+/// prefill and hybrid-cache seeding, but the block loop drafts a token tree
+/// and verifies it in one tree-attention target pass
+/// ([`speculative_tree_seeded_ws`]). The target's vision prefix length is
+/// passed as the visual-attention boundary, so the session's acceptance
+/// calibrator sees a live modality feature. Lossless for every ablation and
+/// tree shape; byte-identical to [`mm_speculative_ws`] at branching
+/// factor 1.
+#[allow(clippy::too_many_arguments)]
+pub fn mm_speculative_tree_ws(
+    model: &LlavaSim,
+    draft: &Decoder,
+    projector: Option<&KvProjector>,
+    ablation: Ablation,
+    image: &Image,
+    prompt: &[u32],
+    budget: usize,
+    gamma: usize,
+    tree: TreeConfig,
+    ws: &mut Workspace,
+) -> (Vec<u32>, SpecStats) {
+    let mut t_cache = model.lm.new_cache();
+    let pending = model.prefill_ws(image, prompt, &mut t_cache, ws);
+
+    let mut d_cache = draft.new_cache();
+    seed_draft_prefix(model, projector, ablation, &t_cache, &mut d_cache);
+    if !ablation.drop_text_kv {
+        let mut d_logits = ws.take(prompt.len() * draft.cfg.vocab);
+        draft.forward_infer_ws(prompt, &mut d_cache, ws, &mut d_logits);
+        ws.give(d_logits);
+    }
+
+    speculative_tree_seeded_ws(
+        &model.lm,
+        draft,
+        &mut t_cache,
+        &mut d_cache,
+        pending,
+        budget,
+        gamma,
+        tree,
+        model.n_img(),
+        ws,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +300,57 @@ mod tests {
         let mut c = draft.new_cache();
         let p = seed_draft_prefix(&model, None, Ablation::no_vision(), &t_cache, &mut c);
         assert_eq!((p, c.len()), (0, 0));
+    }
+
+    /// Tree speculation over the hybrid cache stays lossless for every
+    /// ablation and branch shape, measures a live visual-mass feature, and
+    /// at branching factor 1 reproduces the linear loop's stream AND stats.
+    #[test]
+    fn tree_speculation_is_lossless_over_the_hybrid_cache() {
+        let (model, draft, proj, img, prompt) = setup();
+        let mut ws = Workspace::new();
+        let budget = 24;
+        let reference = mm_autoregressive_ws(&model, &img, &prompt, budget, &mut ws);
+        for abl in [Ablation::projector(), Ablation::no_vision()] {
+            for bf in [1usize, 2, 3] {
+                let cfg = TreeConfig {
+                    branch_factor: bf,
+                    max_depth: 0,
+                    prob_floor: 0.05,
+                    calibrator: None,
+                    branch_threshold: 0.5,
+                };
+                let (out, stats) = mm_speculative_tree_ws(
+                    &model,
+                    &draft,
+                    Some(&proj),
+                    abl,
+                    &img,
+                    &prompt,
+                    budget,
+                    5,
+                    cfg,
+                    &mut ws,
+                );
+                assert_eq!(out, reference, "tree lossless violated: {abl:?} bf={bf}");
+                assert_eq!(stats.generated, budget);
+                if bf == 1 {
+                    let (lin_out, lin_stats) = mm_speculative_ws(
+                        &model,
+                        &draft,
+                        Some(&proj),
+                        abl,
+                        &img,
+                        &prompt,
+                        budget,
+                        5,
+                        &mut ws,
+                    );
+                    assert_eq!(out, lin_out, "bf=1 stream diverged: {abl:?}");
+                    assert_eq!(stats, lin_stats, "bf=1 stats diverged: {abl:?}");
+                }
+            }
+        }
     }
 
     /// A self-draft (draft = target LM) with the raw vision prefix sees

@@ -33,7 +33,10 @@ pub mod projector;
 pub mod train;
 pub mod vision;
 
-pub use hybrid::{draft_for, mm_autoregressive_ws, mm_speculative_ws, seed_draft_prefix, Ablation};
+pub use hybrid::{
+    draft_for, mm_autoregressive_ws, mm_speculative_tree_ws, mm_speculative_ws, seed_draft_prefix,
+    Ablation,
+};
 pub use llava::{LlavaSim, LlavaSimConfig};
 pub use projector::{layer_map, seed_raw_vision, KvProjector};
 pub use train::{distill_hybrid, HybridDistillConfig};

@@ -190,6 +190,158 @@ impl Attention {
         ws.give(scores);
     }
 
+    /// Tree-attention verify path: the `t` rows of `norm_x` are a
+    /// **flattened token tree** appended after the cached prefix, where row
+    /// `i` sits at depth `depths[i]` below the prefix and `vis[i]` is its
+    /// ancestor bitmask over the tree rows (bit `j` set ⇔ row `j` is on
+    /// row `i`'s root path, self included; ancestors precede descendants in
+    /// flat order). RoPE uses `pos0 + depths[i]` — the position the row
+    /// would occupy if its root path were fed linearly — so sibling
+    /// branches share positions and a committed path needs no re-encode.
+    ///
+    /// Numerically this is the SAME kernel sweep as
+    /// [`Attention::forward_infer_ws`], restricted to contiguous runs of
+    /// *visible* positions (the whole prefix + the ancestor rows), with the
+    /// scores packed densely before the softmax. Because `attn_scores_with`
+    /// computes an independent dot per position and `attn_mix_with`
+    /// accumulates element-wise in position order, masking by skipping
+    /// positions is bit-identical to attending over the compacted sequence
+    /// — so each root-to-leaf path scores exactly as a linear feed of that
+    /// path, and a full-visibility chain (branching factor 1) makes the
+    /// identical kernel calls as the linear path, bit for bit.
+    ///
+    /// `vis_mass[i]` accumulates this layer's mean-over-heads attention
+    /// mass on positions `0..vis_boundary` (the vision prefix) for row `i`
+    /// — the modality signal the acceptance calibrator consumes. Pass
+    /// `vis_boundary = 0` to skip the measurement.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_infer_tree_ws(
+        &self,
+        norm_x: &[f32],
+        t: usize,
+        rope: &Rope,
+        mut cache: KvLayerMut<'_>,
+        ws: &mut Workspace,
+        resid: &mut [f32],
+        depths: &[usize],
+        vis: &[u64],
+        vis_boundary: usize,
+        vis_mass: &mut [f32],
+    ) {
+        let dim = self.n_heads * self.head_dim;
+        debug_assert_eq!(norm_x.len(), t * dim);
+        debug_assert_eq!(resid.len(), t * dim);
+        debug_assert_eq!(depths.len(), t);
+        debug_assert_eq!(vis.len(), t);
+        debug_assert!(t <= 64, "tree wider than the visibility mask");
+        let pos0 = cache.len();
+        debug_assert!(vis_boundary <= pos0, "vision prefix must be cached");
+        let bk = aasd_tensor::backend();
+
+        let span = ws.prof.begin();
+        let mut q = ws.take(t * dim);
+        let mut k = ws.take(t * dim);
+        let mut v = ws.take(t * dim);
+        self.wq.forward_rows_into_ws(norm_x, t, ws, &mut q);
+        self.wk.forward_rows_into_ws(norm_x, t, ws, &mut k);
+        self.wv.forward_rows_into_ws(norm_x, t, ws, &mut v);
+        for i in 0..t {
+            for h in 0..self.n_heads {
+                let hs = h * self.head_dim..(h + 1) * self.head_dim;
+                rope.apply(&mut q[i * dim..][hs.clone()], pos0 + depths[i]);
+                rope.apply(&mut k[i * dim..][hs], pos0 + depths[i]);
+            }
+        }
+        for i in 0..t {
+            cache.append(&k[i * dim..(i + 1) * dim], &v[i * dim..(i + 1) * dim]);
+        }
+        ws.prof.end(span, Op::Qkv);
+
+        let scale = self.scale();
+        let mut ctx = ws.take(t * dim);
+        let mut scores = ws.take(cache.capacity());
+        for i in 0..t {
+            let ctx_len = pos0 + i + 1; // later flat rows are never visible
+            let vm = vis[i];
+            debug_assert!(vm & (1 << i) != 0, "row must see itself");
+            // A cached position is visible iff it is prefix or an ancestor.
+            let visible = |p: usize| p < pos0 || (vm >> (p - pos0)) & 1 == 1;
+            for h in 0..self.n_heads {
+                let hs = h * self.head_dim..(h + 1) * self.head_dim;
+                let q_head = &q[i * dim..][hs.clone()];
+                let span = ws.prof.begin();
+                let mut n_vis = 0usize;
+                for (start, keys, _values) in cache.chunks(ctx_len) {
+                    let filled = keys.len() / dim;
+                    let mut r = 0usize;
+                    while r < filled {
+                        if !visible(start + r) {
+                            r += 1;
+                            continue;
+                        }
+                        let mut e = r + 1;
+                        while e < filled && visible(start + e) {
+                            e += 1;
+                        }
+                        attn_scores_with(
+                            bk,
+                            &mut scores[n_vis..n_vis + (e - r)],
+                            q_head,
+                            &keys[r * dim + hs.start..],
+                            dim,
+                            scale,
+                        );
+                        n_vis += e - r;
+                        r = e;
+                    }
+                }
+                softmax_row_with(bk, &mut scores[..n_vis]);
+                ws.prof.end(span, Op::AttnScore);
+                if vis_boundary > 0 {
+                    // Prefix positions are always visible and pack first.
+                    vis_mass[i] += scores[..vis_boundary].iter().sum::<f32>() / self.n_heads as f32;
+                }
+                let span = ws.prof.begin();
+                let out_head = &mut ctx[i * dim..][hs.clone()];
+                let mut w_at = 0usize;
+                for (start, _keys, values) in cache.chunks(ctx_len) {
+                    let filled = values.len() / dim;
+                    let mut r = 0usize;
+                    while r < filled {
+                        if !visible(start + r) {
+                            r += 1;
+                            continue;
+                        }
+                        let mut e = r + 1;
+                        while e < filled && visible(start + e) {
+                            e += 1;
+                        }
+                        attn_mix_with(
+                            bk,
+                            out_head,
+                            &scores[w_at..w_at + (e - r)],
+                            &values[r * dim + hs.start..],
+                            dim,
+                        );
+                        w_at += e - r;
+                        r = e;
+                    }
+                }
+                ws.prof.end(span, Op::AttnMix);
+            }
+        }
+
+        let span = ws.prof.begin();
+        self.wo.forward_rows_acc_ws(&ctx, t, ws, resid);
+        ws.prof.end(span, Op::OProj);
+
+        ws.give(q);
+        ws.give(k);
+        ws.give(v);
+        ws.give(ctx);
+        ws.give(scores);
+    }
+
     /// Full-sequence reference path: `x: [t, dim]` is the whole sequence at
     /// positions `0..t`. Stateless; builds explicit masked score matrices.
     pub fn forward_full(&self, x: &Tensor, rope: &Rope) -> Tensor {
@@ -356,6 +508,60 @@ mod tests {
             assert!(max_abs_diff(y1.row(i), y2.row(i)) < 1e-6, "row {i} leaked");
         }
         assert!(max_abs_diff(y1.row(t - 1), y2.row(t - 1)) > 1e-3);
+    }
+
+    /// A full-visibility chain through the tree path must make the exact
+    /// kernel calls of the linear path: bit-identical outputs, K/V, and no
+    /// fresh allocations once warmed.
+    #[test]
+    fn tree_chain_is_bit_identical_to_linear() {
+        let mut rng = Rng::new(11);
+        let (dim, heads, t) = (32, 4, 6);
+        let attn = Attention::new(&mut rng, dim, heads);
+        let rope = Rope::new(64, dim / heads, 10_000.0);
+        let prefix = Tensor::randn(&mut rng, 9, dim, 1.0);
+        let x = Tensor::randn(&mut rng, t, dim, 1.0);
+
+        let mut ws = Workspace::new();
+        let pool = KvPool::new(1, dim, 4, 32);
+        let mut lin = pool.try_lease(64).unwrap();
+        let mut tree = pool.try_lease(64).unwrap();
+        for c in [&mut lin, &mut tree] {
+            let mut r = vec![0.0f32; 9 * dim];
+            attn.forward_infer_ws(&prefix.data, 9, &rope, c.layer_mut(0), &mut ws, &mut r);
+        }
+        let mut a = vec![0.0f32; t * dim];
+        let mut b = vec![0.0f32; t * dim];
+        attn.forward_infer_ws(&x.data, t, &rope, lin.layer_mut(0), &mut ws, &mut a);
+        let depths: Vec<usize> = (0..t).collect();
+        let vis: Vec<u64> = (0..t).map(|i| (1u64 << (i + 1)) - 1).collect();
+        let mut mass = vec![0.0f32; t];
+        attn.forward_infer_tree_ws(
+            &x.data,
+            t,
+            &rope,
+            tree.layer_mut(0),
+            &mut ws,
+            &mut b,
+            &depths,
+            &vis,
+            4,
+            &mut mass,
+        );
+        let ab: Vec<u32> = a.iter().map(|v| v.to_bits()).collect();
+        let bb: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ab, bb, "chain tree attention must equal linear bitwise");
+        for p in 0..lin.len() {
+            assert_eq!(
+                lin.layer(0).key(p),
+                tree.layer(0).key(p),
+                "K row {p} diverged"
+            );
+        }
+        assert!(
+            mass.iter().all(|&m| m > 0.0 && m < 1.0),
+            "visual mass must be a proper fraction: {mass:?}"
+        );
     }
 
     /// Paging must cost nothing numerically: the same sequence decoded into

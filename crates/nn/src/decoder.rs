@@ -176,6 +176,50 @@ impl DecoderBlock {
 
         ws.give(h);
     }
+
+    /// Tree-verify variant of [`DecoderBlock::forward_infer_ws`]: identical
+    /// structure, with the attention sub-layer routed through
+    /// [`Attention::forward_infer_tree_ws`] (norms and MLP are per-row and
+    /// position-free, so they need no tree awareness).
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_infer_tree_ws(
+        &self,
+        x: &mut [f32],
+        t: usize,
+        rope: &Rope,
+        cache: KvLayerMut<'_>,
+        ws: &mut Workspace,
+        depths: &[usize],
+        vis: &[u64],
+        vis_boundary: usize,
+        vis_mass: &mut [f32],
+    ) {
+        let dim = self.attn_norm.gain.len();
+        let mut h = ws.take(t * dim);
+
+        let span = ws.prof.begin();
+        self.attn_norm.forward_into(x, t, &mut h);
+        ws.prof.end(span, Op::RmsNorm);
+        self.attn.forward_infer_tree_ws(
+            &h,
+            t,
+            rope,
+            cache,
+            ws,
+            x,
+            depths,
+            vis,
+            vis_boundary,
+            vis_mass,
+        );
+
+        let span = ws.prof.begin();
+        self.mlp_norm.forward_into(x, t, &mut h);
+        ws.prof.end(span, Op::RmsNorm);
+        self.mlp.forward_ws(&h, t, ws, x);
+
+        ws.give(h);
+    }
 }
 
 /// Decoder-only transformer LM.
@@ -292,6 +336,79 @@ impl Decoder {
         ws.prof.end(span, Op::Embed);
 
         self.infer_tail_ws(x, t, cache, ws, logits);
+    }
+
+    /// Tree-verify forward: `tokens` is a **flattened token tree** (row `i`
+    /// at depth `depths[i]`, ancestor bitmask `vis[i]`, self bit included)
+    /// appended after the cached prefix; logits row `i` is the next-token
+    /// distribution conditioned on exactly `i`'s root path. Every row of an
+    /// entire speculation tree is scored in this ONE weight pass — commit
+    /// the accepted root-to-leaf path with [`KvCache::gather_tail`].
+    ///
+    /// `vis_mass[i]` receives row `i`'s attention mass on cache positions
+    /// `0..vis_boundary` (the vision prefix), averaged over heads and
+    /// layers — the modality feature the acceptance calibrator consumes
+    /// (pass `vis_boundary = 0` to skip). A chain (`depths[i] == i`, full
+    /// visibility) reproduces [`Decoder::forward_infer_ws`] bit for bit.
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_infer_tree_ws(
+        &self,
+        tokens: &[u32],
+        depths: &[usize],
+        vis: &[u64],
+        vis_boundary: usize,
+        cache: &mut KvCache,
+        ws: &mut Workspace,
+        logits: &mut [f32],
+        vis_mass: &mut [f32],
+    ) {
+        let t = tokens.len();
+        assert!(!tokens.is_empty(), "empty token tree");
+        assert_eq!(depths.len(), t);
+        assert_eq!(vis.len(), t);
+        assert_eq!(vis_mass.len(), t);
+        assert!(
+            cache.len() + t <= self.cfg.max_seq.min(cache.capacity()),
+            "tree exceeds cache capacity = {}",
+            self.cfg.max_seq.min(cache.capacity())
+        );
+        assert_eq!(logits.len(), t * self.cfg.vocab);
+
+        let mut x = ws.take(t * self.cfg.dim);
+        let span = ws.prof.begin();
+        self.embed.forward_into(tokens, &mut x);
+        ws.prof.end(span, Op::Embed);
+
+        vis_mass.fill(0.0);
+        for (l, block) in self.blocks.iter().enumerate() {
+            block.forward_infer_tree_ws(
+                &mut x,
+                t,
+                &self.rope,
+                cache.layer_mut(l),
+                ws,
+                depths,
+                vis,
+                vis_boundary,
+                vis_mass,
+            );
+        }
+        let inv_layers = 1.0 / self.blocks.len() as f32;
+        for m in vis_mass.iter_mut() {
+            *m *= inv_layers;
+        }
+
+        let mut xn = ws.take(t * self.cfg.dim);
+        let span = ws.prof.begin();
+        self.final_norm.forward_into(&x, t, &mut xn);
+        ws.prof.end(span, Op::RmsNorm);
+
+        let span = ws.prof.begin();
+        self.lm_head.forward_rows_into_ws(&xn, t, ws, logits);
+        ws.prof.end(span, Op::LmHead);
+
+        ws.give(x);
+        ws.give(xn);
     }
 
     /// Fused forward over **pre-computed embedding rows** instead of token
@@ -731,6 +848,153 @@ mod tests {
             f32_model.forward_infer_ws(&[tok], &mut cache_d, &mut ws_a, &mut ld);
         }
         assert_eq!(lc, ld, "restored f32 policy must be exact");
+    }
+
+    /// Chain bit-identity: a branching-factor-1 "tree" (depths `0..t`, full
+    /// visibility) must make the identical kernel calls as the linear fused
+    /// forward — logits and cache rows equal bit for bit, on a genuinely
+    /// paged lease.
+    #[test]
+    fn tree_forward_chain_is_bit_identical_to_linear() {
+        use crate::cache::KvPool;
+        let model = Decoder::new(DecoderConfig::tiny(50), 0x73EE);
+        let vocab = model.cfg.vocab;
+        let mut rng = Rng::new(91);
+        let prefix: Vec<u32> = (0..9).map(|_| rng.below(50) as u32).collect();
+        let chain: Vec<u32> = (0..5).map(|_| rng.below(50) as u32).collect();
+
+        let pool = KvPool::new(model.cfg.n_layers, model.cfg.dim, 4, 64);
+        let mut lin = pool.try_lease(40).unwrap();
+        let mut tree = pool.try_lease(40).unwrap();
+        let mut ws = Workspace::new();
+        let mut scratch = vec![0.0f32; prefix.len() * vocab];
+        model.forward_infer_ws(&prefix, &mut lin, &mut ws, &mut scratch);
+        model.forward_infer_ws(&prefix, &mut tree, &mut ws, &mut scratch);
+
+        let t = chain.len();
+        let mut la = vec![0.0f32; t * vocab];
+        let mut lb = vec![0.0f32; t * vocab];
+        model.forward_infer_ws(&chain, &mut lin, &mut ws, &mut la);
+        let depths: Vec<usize> = (0..t).collect();
+        let vis: Vec<u64> = (0..t).map(|i| (1u64 << (i + 1)) - 1).collect();
+        let mut mass = vec![0.0f32; t];
+        model.forward_infer_tree_ws(
+            &chain, &depths, &vis, 0, &mut tree, &mut ws, &mut lb, &mut mass,
+        );
+        let ab: Vec<u32> = la.iter().map(|v| v.to_bits()).collect();
+        let bb: Vec<u32> = lb.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ab, bb, "chain tree logits must equal linear bitwise");
+        for l in 0..model.cfg.n_layers {
+            for p in 0..lin.len() {
+                assert_eq!(lin.layer(l).key(p), tree.layer(l).key(p));
+                assert_eq!(lin.layer(l).value(p), tree.layer(l).value(p));
+            }
+        }
+    }
+
+    /// Exact losslessness of a branched tree: every root-to-leaf path's
+    /// logits must equal feeding that path linearly, bit for bit, and the
+    /// gathered commit must leave cache rows bit-identical to the linear
+    /// feed's.
+    #[test]
+    fn tree_forward_path_matches_linear_feed_bitwise() {
+        use crate::cache::KvPool;
+        let model = Decoder::new(DecoderConfig::tiny(50), 0x73EF);
+        let vocab = model.cfg.vocab;
+        let mut rng = Rng::new(92);
+        let prefix: Vec<u32> = (0..7).map(|_| rng.below(50) as u32).collect();
+
+        //        0
+        //       / \
+        //      1   2
+        //     /   / \
+        //    3   4   5
+        let toks: Vec<u32> = (0..6).map(|_| rng.below(50) as u32).collect();
+        let parents = [usize::MAX, 0, 0, 1, 2, 2];
+        let depths = [0usize, 1, 1, 2, 2, 2];
+        let mut vis = [0u64; 6];
+        for i in 0..6 {
+            vis[i] = 1 << i;
+            if parents[i] != usize::MAX {
+                vis[i] |= vis[parents[i]];
+            }
+        }
+
+        let pool = KvPool::new(model.cfg.n_layers, model.cfg.dim, 4, 64);
+        let mut tree_cache = pool.try_lease(40).unwrap();
+        let mut ws = Workspace::new();
+        let mut scratch = vec![0.0f32; prefix.len() * vocab];
+        model.forward_infer_ws(&prefix, &mut tree_cache, &mut ws, &mut scratch);
+        let base = tree_cache.len();
+        let mut tl = vec![0.0f32; 6 * vocab];
+        let mut mass = vec![0.0f32; 6];
+        model.forward_infer_tree_ws(
+            &toks,
+            &depths,
+            &vis,
+            3,
+            &mut tree_cache,
+            &mut ws,
+            &mut tl,
+            &mut mass,
+        );
+        assert!(
+            mass.iter().all(|&m| m > 0.0 && m < 1.0),
+            "bad mass {mass:?}"
+        );
+
+        for path in [vec![0usize, 1, 3], vec![0, 2, 4], vec![0, 2, 5]] {
+            let mut lin = pool.try_lease(40).unwrap();
+            model.forward_infer_ws(&prefix, &mut lin, &mut ws, &mut scratch);
+            let path_toks: Vec<u32> = path.iter().map(|&i| toks[i]).collect();
+            let mut ll = vec![0.0f32; path.len() * vocab];
+            model.forward_infer_ws(&path_toks, &mut lin, &mut ws, &mut ll);
+            for (j, &i) in path.iter().enumerate() {
+                let a: Vec<u32> = tl[i * vocab..(i + 1) * vocab]
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                let b: Vec<u32> = ll[j * vocab..(j + 1) * vocab]
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                assert_eq!(a, b, "path {path:?} node {i} logits diverged");
+            }
+            // Commit this path into a fork of the tree cache and compare
+            // the compacted rows against the linear feed's, bitwise.
+            let mut committed = {
+                let mut c = pool.try_lease(40).unwrap();
+                model.forward_infer_ws(&prefix, &mut c, &mut ws, &mut scratch);
+                let mut l2 = vec![0.0f32; 6 * vocab];
+                let mut m2 = vec![0.0f32; 6];
+                model.forward_infer_tree_ws(
+                    &toks, &depths, &vis, 3, &mut c, &mut ws, &mut l2, &mut m2,
+                );
+                c
+            };
+            committed.gather_tail(base, &path);
+            assert_eq!(committed.len(), lin.len());
+            for l in 0..model.cfg.n_layers {
+                for p in 0..lin.len() {
+                    let a: Vec<u32> = committed
+                        .layer(l)
+                        .key(p)
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect();
+                    let b: Vec<u32> = lin.layer(l).key(p).iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(a, b, "path {path:?} K row {p} layer {l}");
+                    let a: Vec<u32> = committed
+                        .layer(l)
+                        .value(p)
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect();
+                    let b: Vec<u32> = lin.layer(l).value(p).iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(a, b, "path {path:?} V row {p} layer {l}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -52,8 +52,8 @@ use std::time::{Duration, Instant};
 use aasd_mm::{seed_draft_prefix, Ablation, Image, KvProjector, LlavaSim};
 use aasd_nn::{Decoder, KernelPolicy, KvCache, KvPool};
 use aasd_specdec::{
-    AdaptiveGamma, ArSession, DraftAhead, DraftStep, SpecSession, SpscRing, VerifyHalf,
-    CONFIDENCE_STOP, MAX_GAMMA,
+    AcceptanceCalibrator, AdaptiveGamma, ArSession, DraftAhead, DraftStep, SpecSession, SpscRing,
+    TreeConfig, TreeSession, VerifyHalf, CONFIDENCE_STOP, MAX_GAMMA,
 };
 use aasd_tensor::{argmax, Rng, Tensor, Workspace};
 
@@ -183,6 +183,15 @@ pub struct EngineConfig {
     /// only throughput, TTFT, and the per-block statistics change. Off by
     /// default — the tick scheduler remains the reference.
     pub async_pipeline: bool,
+    /// Serve speculative requests with **tree-structured** speculation
+    /// ([`TreeSession`]): the draft grows a token tree (branching factor 2,
+    /// neutral acceptance calibrator), the target scores it in one
+    /// tree-attention pass, and the longest accepted root-to-leaf path is
+    /// committed. Lossless — served streams still equal the AR reference —
+    /// but the per-block statistics change, so it is off by default (the
+    /// linear session stays the property-tested reference). Sync scheduler
+    /// only; incompatible with `async_pipeline`.
+    pub tree_speculation: bool,
 }
 
 impl Default for EngineConfig {
@@ -198,6 +207,7 @@ impl Default for EngineConfig {
             vision_cache_entries: 8,
             adaptive_gamma: false,
             async_pipeline: false,
+            tree_speculation: false,
         }
     }
 }
@@ -227,6 +237,7 @@ enum Phase {
     /// scheduling turn so TTFT honestly includes queue wait + prefill.
     Prefill(Request),
     Spec(SpecSession),
+    Tree(TreeSession),
     Ar(ArSession),
 }
 
@@ -419,11 +430,19 @@ struct VisionCache {
 impl VisionCache {
     /// Evict the least-recently-used entry, skipping `keep`. Returns false
     /// if nothing was evictable.
+    ///
+    /// Entries whose prefix blocks are currently CoW-shared into a live
+    /// session's lease are skipped: dropping such an entry returns **zero**
+    /// blocks to the pool (the session still pins them via `Arc`), so
+    /// evicting it under block pressure would destroy a reusable prefix
+    /// without helping the failed lease at all — the admission loop would
+    /// strip the whole cache and still come up empty-handed.
     fn evict_coldest(&mut self, keep: Option<u64>) -> bool {
         let victim = self
             .entries
             .iter()
             .filter(|(h, _)| Some(**h) != keep)
+            .filter(|(_, e)| !(0..e.t_prefix.n_blocks()).any(|b| e.t_prefix.block_is_shared(b)))
             .min_by_key(|(_, e)| e.last_used)
             .map(|(h, _)| *h);
         match victim {
@@ -480,6 +499,10 @@ impl Engine {
         assert!(cfg.slots >= 1, "engine needs at least one slot");
         assert!(cfg.workers >= 1, "engine needs at least one worker");
         assert!(cfg.block_size >= 1, "block_size must be >= 1");
+        assert!(
+            !(cfg.tree_speculation && cfg.async_pipeline),
+            "tree_speculation runs on the sync scheduler only"
+        );
         assert_eq!(
             model.target_lm().kernel_policy(),
             cfg.kernel_policy,
@@ -920,6 +943,7 @@ impl Engine {
         if active.handle.is_cancel_requested() {
             let stats = match &active.phase {
                 Phase::Spec(s) => Some(s.stats().clone()),
+                Phase::Tree(s) => Some(s.stats().clone()),
                 _ => None,
             };
             if let Some(s) = &stats {
@@ -950,6 +974,10 @@ impl Engine {
                         handle.push_tokens(s.tokens());
                         (s.tokens().len(), s.is_done())
                     }
+                    Phase::Tree(s) => {
+                        handle.push_tokens(s.tokens());
+                        (s.tokens().len(), s.is_done())
+                    }
                     Phase::Ar(s) => {
                         handle.push_tokens(s.tokens());
                         (s.tokens().len(), s.is_done())
@@ -972,6 +1000,32 @@ impl Engine {
                     self.model.draft(),
                     t_cache,
                     d_cache.as_mut().expect("spec session without draft lease"),
+                    ws,
+                );
+                let block_ms = started.elapsed().as_secs_f64() * 1e3;
+                self.metrics.block_ms.record_ms(block_ms);
+                if report.committed > 0 {
+                    let new = &session.tokens()[*published..];
+                    debug_assert_eq!(new.len(), report.committed);
+                    handle.push_tokens(new);
+                    *published += report.committed;
+                    self.metrics.tokens_generated.add(report.committed as u64);
+                    for _ in 0..report.committed {
+                        self.metrics
+                            .token_ms
+                            .record_ms(block_ms / report.committed as f64);
+                    }
+                }
+                if report.done {
+                    self.finish_slot(cell);
+                }
+            }
+            Phase::Tree(session) => {
+                let report = session.step_block(
+                    self.model.target_lm(),
+                    self.model.draft(),
+                    t_cache,
+                    d_cache.as_mut().expect("tree session without draft lease"),
                     ws,
                 );
                 let block_ms = started.elapsed().as_secs_f64() * 1e3;
@@ -1140,6 +1194,28 @@ impl Engine {
                     .min(target.cfg.max_seq + 1 - t_cache.len())
                     .min(draft.cfg.max_seq + 1 - d_cache.len());
                 debug_assert_eq!(budget, plan.budget);
+                if self.cfg.tree_speculation {
+                    let tree_cfg = TreeConfig {
+                        calibrator: Some(AcceptanceCalibrator::neutral()),
+                        ..TreeConfig::default()
+                    };
+                    let mut session = TreeSession::new(
+                        target,
+                        draft,
+                        t_cache,
+                        d_cache,
+                        pending,
+                        budget,
+                        gamma,
+                        tree_cfg,
+                        self.model.n_img(),
+                    );
+                    if self.cfg.adaptive_gamma {
+                        let ratio = draft.n_params() as f64 / target.n_params() as f64;
+                        session.enable_adaptive_gamma(AdaptiveGamma::new(ratio));
+                    }
+                    return Phase::Tree(session);
+                }
                 let mut session =
                     SpecSession::new(target, draft, t_cache, d_cache, pending, budget, gamma);
                 if self.cfg.adaptive_gamma {
@@ -1239,6 +1315,11 @@ impl Engine {
         let active = cell.take().expect("finishing an empty slot");
         let stats = match active.phase {
             Phase::Spec(session) => {
+                let (_, stats) = session.into_parts();
+                self.metrics.merge_spec_stats(&stats);
+                Some(stats)
+            }
+            Phase::Tree(session) => {
                 let (_, stats) = session.into_parts();
                 self.metrics.merge_spec_stats(&stats);
                 Some(stats)
@@ -2253,6 +2334,150 @@ mod tests {
             assert_eq!(h.snapshot(), (Status::Done, w.clone()));
         }
         assert_eq!(engine0.metrics().vision_cache_hits.get(), 0);
+    }
+
+    /// `tree_speculation` serves byte-identical streams to the linear
+    /// engine (losslessness survives the tree scheduler path) on both the
+    /// text and multimodal engines, and reports spec-shaped stats.
+    #[test]
+    fn tree_engine_serves_losslessly() {
+        // Text engine: tree stream == linear engine stream == fused loop.
+        let target = Arc::new(Decoder::new(DecoderConfig::tiny(40), 10));
+        let draft = Arc::new(Decoder::new(DecoderConfig::tiny(40), 20));
+        let tree_engine = Engine::new(
+            EngineModel::Text {
+                target: Arc::clone(&target),
+                draft: Arc::clone(&draft),
+            },
+            EngineConfig {
+                slots: 2,
+                tree_speculation: true,
+                ..EngineConfig::default()
+            },
+        );
+        let mut ws = Workspace::new();
+        let prompt = vec![3u32, 7, 1, 9];
+        let (want, _) = speculative_greedy_with_budget_ws(&target, &draft, &prompt, 24, 4, &mut ws);
+        let h = tree_engine.submit(spec_req(prompt, 24, 4)).unwrap();
+        tree_engine.run_until_idle();
+        let (status, tokens) = h.snapshot();
+        assert_eq!((status, tokens), (Status::Done, want));
+        let stats = h.stats().unwrap();
+        assert_eq!(stats.generated, 24);
+        assert!(stats.accepted <= stats.drafted);
+
+        // Multimodal engine: tree stream == the AR reference.
+        use aasd_mm::{draft_for, mm_autoregressive_ws, LlavaSimConfig};
+        let cfg = LlavaSimConfig::tiny(40, 96);
+        let model = Arc::new(LlavaSim::new(cfg.clone(), 0xB0));
+        let mm_draft = Arc::new(draft_for(&cfg, 0xB1));
+        let projector = Arc::new(KvProjector::new(
+            0xB2,
+            mm_draft.cfg.n_layers,
+            cfg.lm.n_layers,
+            cfg.n_img(),
+            cfg.k_slots(),
+        ));
+        let mm_tree = Engine::new(
+            EngineModel::Multimodal {
+                model: Arc::clone(&model),
+                draft: mm_draft,
+                projector,
+                ablation: Ablation::projector(),
+            },
+            EngineConfig {
+                slots: 2,
+                tree_speculation: true,
+                adaptive_gamma: true,
+                ..EngineConfig::default()
+            },
+        );
+        let prompt = vec![3u32, 11, 25, 7];
+        let img = Image::synthetic(&mut Rng::new(5), cfg.vision.n_patches, cfg.vision.patch_dim);
+        let want_mm = mm_autoregressive_ws(&model, &img, &prompt, 20, &mut ws);
+        let h = mm_tree
+            .submit(Request {
+                prompt,
+                max_new: 20,
+                mode: DecodeMode::Speculative { gamma: 3 },
+                image_seed: Some(5),
+            })
+            .unwrap();
+        mm_tree.run_until_idle();
+        assert_eq!(h.snapshot(), (Status::Done, want_mm));
+    }
+
+    /// Tree speculation has no async-pipeline implementation; the config
+    /// combination must be refused at construction, not fail silently.
+    #[test]
+    #[should_panic(expected = "sync scheduler")]
+    fn tree_engine_rejects_async_pipeline() {
+        let target = Arc::new(Decoder::new(DecoderConfig::tiny(40), 10));
+        let draft = Arc::new(Decoder::new(DecoderConfig::tiny(40), 20));
+        Engine::new(
+            EngineModel::Text { target, draft },
+            EngineConfig {
+                tree_speculation: true,
+                async_pipeline: true,
+                ..EngineConfig::default()
+            },
+        );
+    }
+
+    /// Eviction under block pressure must skip entries whose prefix blocks
+    /// are CoW-leased by a live session: dropping them frees nothing (the
+    /// session pins the blocks), so the colder-but-leased entry survives
+    /// and the unleased one goes. Once the session drops its lease, the
+    /// entry becomes evictable again.
+    #[test]
+    fn eviction_skips_prefixes_leased_by_active_sessions() {
+        let pool = KvPool::new(2, 8, 4, 12);
+        let mut cache = VisionCache::default();
+        let mut seed_entry = |rows: usize, last_used: u64, hash: u64| {
+            let mut prefix = pool.try_lease(rows).unwrap();
+            for l in 0..2 {
+                let mut layer = prefix.layer_mut(l);
+                for _ in 0..rows {
+                    layer.append(&[1.0; 8], &[2.0; 8]);
+                }
+            }
+            cache.entries.insert(
+                hash,
+                VisionEntry {
+                    t_prefix: prefix,
+                    d_seed: None,
+                    last_used,
+                },
+            );
+        };
+        seed_entry(8, 1, 0xA); // coldest — but about to be leased
+        seed_entry(8, 2, 0xB);
+
+        // A live session leases on top of entry A's prefix (CoW shares its
+        // full blocks).
+        let session_lease = pool
+            .try_lease_with_prefix(&cache.entries[&0xA].t_prefix, 10)
+            .unwrap();
+        assert!(cache.evict_coldest(None), "B must be evictable");
+        assert!(
+            cache.entries.contains_key(&0xA),
+            "leased entry A must survive eviction despite being coldest"
+        );
+        assert!(!cache.entries.contains_key(&0xB));
+        // Nothing else is evictable while the session holds the lease.
+        assert!(!cache.evict_coldest(None));
+        assert!(cache.entries.contains_key(&0xA));
+
+        // Session ends: A is evictable again, and its blocks actually
+        // return to the pool.
+        drop(session_lease);
+        let free_before = pool.free_blocks();
+        assert!(cache.evict_coldest(None));
+        assert!(cache.entries.is_empty());
+        assert!(
+            pool.free_blocks() > free_before,
+            "eviction must free blocks"
+        );
     }
 
     // ------------------------------------------------------------------

@@ -93,9 +93,12 @@ impl AdaptiveGamma {
     /// γ winning ties. Always in `1..MAX_GAMMA`, so the result is a valid
     /// `SpecSession` γ as-is.
     pub fn gamma(&self) -> usize {
-        // Clamp away α̂ = 1 so the geometric-series quotient stays finite;
-        // at 0.9999 the optimum is already pinned at the cap.
-        let a = self.alpha_hat.clamp(0.0, 0.9999);
+        // Clamp α̂ into [ε, 1−ε]: at 1 the geometric-series quotient
+        // divides by zero (and already at 0.9999 the optimum is pinned at
+        // the cap); at exactly 0 the quotient is fine but the lower bound
+        // keeps eff() strictly positive so the argmax is well-ordered even
+        // if a cold-start prior or degenerate EWMA lands on the frontier.
+        let a = self.alpha_hat.clamp(1e-4, 0.9999);
         let mut best_g = 1;
         let mut best_eff = f64::NEG_INFINITY;
         for g in 1..MAX_GAMMA {
@@ -107,6 +110,15 @@ impl AdaptiveGamma {
             }
         }
         best_g
+    }
+
+    /// [`AdaptiveGamma::gamma`] bounded to what the session can still use:
+    /// never below 1 (a degenerate bound still drafts one token — the
+    /// caller's own room checks handle true zero-room blocks) and never
+    /// beyond `remaining` — the lease/budget headroom — so the cold-start
+    /// prior cannot propose a depth the collapsed lease cannot hold.
+    pub fn gamma_capped(&self, remaining: usize) -> usize {
+        self.gamma().clamp(1, remaining.max(1))
     }
 }
 
@@ -157,6 +169,41 @@ mod tests {
             "costlier draft must not speculate deeper: {dear} vs {cheap}"
         );
         assert!(cheap > 1);
+    }
+
+    /// The α̂ → 1 frontier: an exactly-1.0 prior (or an EWMA saturated by
+    /// perfect acceptance) must yield a finite, cap-sized γ — not NaN/∞
+    /// from the (1−α̂) division.
+    #[test]
+    fn alpha_one_frontier_stays_finite_at_the_cap() {
+        let ctl = AdaptiveGamma::with_prior(1.0 / 16.0, 0.9, 1.0);
+        assert_eq!(ctl.alpha_hat(), 1.0, "prior must sit exactly on 1");
+        let g = ctl.gamma();
+        assert_eq!(g, MAX_GAMMA - 1, "singular frontier must pin the cap");
+        assert!((1..MAX_GAMMA).contains(&ctl.gamma_capped(usize::MAX)));
+    }
+
+    /// The α̂ → 0 frontier: an exactly-0.0 prior collapses to γ = 1 with a
+    /// well-ordered argmax (no −∞/0 ties).
+    #[test]
+    fn alpha_zero_frontier_collapses_to_one() {
+        let ctl = AdaptiveGamma::with_prior(1.0 / 16.0, 0.9, 0.0);
+        assert_eq!(ctl.gamma(), 1);
+        assert_eq!(ctl.gamma_capped(5), 1);
+    }
+
+    /// `gamma_capped` bounds the proposal into `[1, remaining]`: a
+    /// cold-start prior cannot exceed the lease headroom, and a zero-room
+    /// cap still returns a valid depth of 1.
+    #[test]
+    fn gamma_capped_respects_the_lease_budget() {
+        let ctl = AdaptiveGamma::with_prior(1.0 / 64.0, 0.9, 1.0);
+        assert_eq!(ctl.gamma(), MAX_GAMMA - 1, "uncapped proposal is deep");
+        assert_eq!(ctl.gamma_capped(3), 3, "capped to the remaining lease");
+        assert_eq!(ctl.gamma_capped(1), 1);
+        assert_eq!(ctl.gamma_capped(0), 1, "zero room still yields a valid γ");
+        let low = AdaptiveGamma::with_prior(1.0 / 64.0, 0.9, 0.0);
+        assert_eq!(low.gamma_capped(40), 1, "cap never raises the proposal");
     }
 
     /// Partial acceptance observes the rejection token too: 3-of-8 feeds

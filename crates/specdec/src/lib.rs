@@ -43,12 +43,17 @@ pub mod metrics;
 pub mod pipeline;
 pub mod ring;
 pub mod session;
+pub mod tree;
 
 pub use adaptive::AdaptiveGamma;
 pub use metrics::SpecStats;
 pub use pipeline::{DraftAhead, DraftStep, VerifyHalf, VerifyReport, CONFIDENCE_STOP};
 pub use ring::{Rollback, SpscRing};
 pub use session::{ArSession, SpecSession, StepReport};
+pub use tree::{
+    speculative_tree_seeded_ws, AcceptanceCalibrator, AcceptanceExample, TreeConfig, TreeSession,
+    CALIBRATOR_FEATURES,
+};
 
 use aasd_nn::{Decoder, KvCache};
 use aasd_tensor::{argmax, Tensor, Workspace};

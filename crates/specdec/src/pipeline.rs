@@ -319,10 +319,15 @@ impl VerifyHalf {
         self.adaptive = Some(controller);
     }
 
-    /// The γ underlying the current depth hint (diagnostics).
+    /// The γ underlying the current depth hint (diagnostics). An adaptive
+    /// controller's proposal is bounded by the remaining budget, so a
+    /// cold-start prior can never hint a depth past the collapsed lease.
     #[inline]
     pub fn gamma(&self) -> usize {
-        self.adaptive.as_ref().map_or(self.gamma, |a| a.gamma())
+        match &self.adaptive {
+            Some(a) => a.gamma_capped(self.budget.saturating_sub(self.out.len() + 1)),
+            None => self.gamma,
+        }
     }
 
     /// How deep the draft should be allowed to run ahead right now:

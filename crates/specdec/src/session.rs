@@ -173,9 +173,6 @@ impl SpecSession {
         let d_base = d_cache.len();
         debug_assert_eq!(t_base, self.t_off + self.out.len() - 1);
         debug_assert_eq!(d_base, self.d_off + self.out.len() - 1);
-        if let Some(ctl) = &self.adaptive {
-            self.gamma = ctl.gamma();
-        }
         // The block feeds g+1 tokens (pending + g proposals) to both caches
         // and commits at most g+1 new tokens; each model bounds g by its own
         // remaining room — the tighter of its context window and its cache
@@ -185,6 +182,12 @@ impl SpecSession {
         let t_room = target.cfg.max_seq.min(t_cache.capacity()) - t_base - 1;
         let d_room = draft.cfg.max_seq.min(d_cache.capacity()) - d_base - 1;
         let room = t_room.min(d_room);
+        if let Some(ctl) = &self.adaptive {
+            // Bound the controller's proposal by what the lease and budget
+            // can still hold, so a cold-start prior can never ask for a
+            // depth the collapsed lease lacks room for.
+            self.gamma = ctl.gamma_capped(room.min(self.budget - self.out.len() - 1));
+        }
         let g = self.gamma.min(self.budget - self.out.len() - 1).min(room);
         if g == 0 {
             // One token of budget or context left: plain fused decode step.

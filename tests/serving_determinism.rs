@@ -103,6 +103,48 @@ fn rerun_is_reproducible() {
     assert_eq!(run_text_engine(2, &reqs), run_text_engine(2, &reqs));
 }
 
+/// Tree-structured speculation on the sync scheduler is held to the same
+/// bar: worker-count independent, reproducible, and stream-identical to
+/// the linear engine — losslessness means tree and chain commit the same
+/// tokens, so flipping `tree_speculation` must be invisible in the output.
+#[test]
+fn tree_speculation_streams_match_linear_at_any_worker_count() {
+    let run_tree = |workers: usize, reqs: &[Request]| {
+        let target = Arc::new(Decoder::new(DecoderConfig::tiny(40), 10));
+        let draft = Arc::new(Decoder::new(DecoderConfig::tiny(40), 20));
+        let engine = Engine::new(
+            EngineModel::Text { target, draft },
+            EngineConfig {
+                slots: 3,
+                workers,
+                max_queue: 64,
+                tree_speculation: true,
+                ..EngineConfig::default()
+            },
+        );
+        let handles: Vec<_> = reqs
+            .iter()
+            .map(|r| engine.submit(r.clone()).expect("admitted"))
+            .collect();
+        engine.run_until_idle();
+        handles.iter().map(|h| h.snapshot()).collect::<Vec<_>>()
+    };
+    let reqs = workload(10);
+    let linear = run_text_engine(1, &reqs);
+    for workers in [1usize, 4] {
+        let tree = run_tree(workers, &reqs);
+        assert_eq!(linear.len(), tree.len());
+        for (i, (l, t)) in linear.iter().zip(&tree).enumerate() {
+            assert_eq!(t.0, Status::Done, "tree request {i} not done");
+            assert_eq!(
+                l.1, t.1,
+                "request {i} diverged between linear and tree engines ({workers} workers)"
+            );
+        }
+    }
+    assert_eq!(run_tree(2, &reqs), run_tree(2, &reqs), "tree rerun drifted");
+}
+
 /// The async draft/target pipeline is held to the same bar: at 1, 2, and
 /// 4 target workers — with a free-running draft thread racing each verify
 /// leg — every stream is byte-identical to the synchronous scheduler and
