@@ -93,6 +93,23 @@ if [[ "${1:-}" != "--quick" ]]; then
     cargo test -q -p aasd-tensor
     cargo test -q -p aasd --test int8_equivalence
 
+    echo "==> workload gate: aasd-data streams bit-identical on both kernel tiers"
+    # The synthetic workloads must be pure scalar arithmetic: the golden
+    # stream fingerprints in tests/workload_determinism.rs have to match on
+    # the forced-scalar tier and on the host's best backend, or every
+    # committed α/τ number stops being reproducible across machines.
+    AASD_KERNEL=scalar cargo test -q -p aasd --test workload_determinism
+    cargo test -q -p aasd --test workload_determinism
+
+    echo "==> table1 smoke gate: draft-zoo ordering + per-stream losslessness"
+    # Reduced grid (γ=3 only, short training, few held-out pairs): the
+    # binary hard-asserts that every speculative stream is token-identical
+    # to autoregressive decoding and that the AASD draft's α is strictly
+    # above all four baselines on every workload. The full grid (γ∈{3,5},
+    # BENCH_PR10.json) stays out of CI — run it manually via
+    #   cargo run --release -p aasd-bench --bin table1
+    cargo run --release -q -p aasd-bench --bin table1 -- /tmp/table1_smoke.json --smoke
+
     echo "==> perf snapshot smoke (every bench section; decode-step + pipeline-throughput regressions vs latest BENCH_PR*.json are hard failures)"
     cargo run --release -q -p aasd-bench --bin perf_snapshot -- /tmp/bench_smoke.json --smoke
 

@@ -95,6 +95,22 @@ enum Op {
         n_heads: usize,
         prefix: usize,
     },
+    /// Target-draft attention (the training-time `TdAttention` kernel,
+    /// DESIGN.md §2.8): draft query `i` with window `w` attends over the
+    /// **target** keys at positions `j ≤ i−w` and the **draft** keys at
+    /// positions `i−w < j ≤ i`. All five inputs are `[t, dim]`; the draft
+    /// key at `j = i` is always visible, so every row has mass. The
+    /// optimized forward precomputes `S1 = Q·Kᵀ` and `S2 = Q·K'ᵀ` once per
+    /// head and indexes into them (see [`td_probs`]).
+    TdAttention {
+        q: VarId,
+        tk: VarId,
+        tv: VarId,
+        dk: VarId,
+        dv: VarId,
+        n_heads: usize,
+        window: usize,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -421,6 +437,71 @@ impl Tape {
         )
     }
 
+    /// Target-draft attention over pre-projected, pre-rotated inputs, all
+    /// `[t, dim]`: draft query `i` attends over target key rows `j ≤ i−w`
+    /// and draft key rows `i−w < j ≤ i` (window `w ≥ 1`), with
+    /// `1/sqrt(head_dim)` scaling and one softmax over the combined
+    /// visible set. This is the alignment kernel distillation uses to pull
+    /// the draft's attention geometry toward the target's hidden states:
+    /// the recent `w` positions come from the draft itself (mirroring
+    /// speculation, where the tail of the context is draft-generated) and
+    /// everything older comes from the target. With `w ≥ t` no target row
+    /// is ever visible and the op degenerates to causal self-attention
+    /// over the draft keys.
+    #[allow(clippy::too_many_arguments)]
+    pub fn td_attention(
+        &mut self,
+        q: VarId,
+        tk: VarId,
+        tv: VarId,
+        dk: VarId,
+        dv: VarId,
+        n_heads: usize,
+        window: usize,
+    ) -> VarId {
+        let (tq, ttk, ttv, tdk, tdv) = (
+            self.value(q),
+            self.value(tk),
+            self.value(tv),
+            self.value(dk),
+            self.value(dv),
+        );
+        let shape = (tq.rows, tq.cols);
+        assert_eq!(shape, (ttk.rows, ttk.cols), "q/tk shape mismatch");
+        assert_eq!(shape, (ttv.rows, ttv.cols), "q/tv shape mismatch");
+        assert_eq!(shape, (tdk.rows, tdk.cols), "q/dk shape mismatch");
+        assert_eq!(shape, (tdv.rows, tdv.cols), "q/dv shape mismatch");
+        assert!(window >= 1, "TdAttention window must be at least 1");
+        let head_dim = tq.cols / n_heads;
+        assert_eq!(head_dim * n_heads, tq.cols, "dim must divide into heads");
+        let t = tq.rows;
+        let mut value = Tensor::zeros(t, tq.cols);
+        for h in 0..n_heads {
+            let qh = gather_head(tq, h, head_dim);
+            let tkh = gather_head(ttk, h, head_dim);
+            let tvh = gather_head(ttv, h, head_dim);
+            let dkh = gather_head(tdk, h, head_dim);
+            let dvh = gather_head(tdv, h, head_dim);
+            let p = td_probs(&qh, &tkh, &dkh, head_dim, window);
+            let (pt, pd) = split_cols(&p, t);
+            let mut oh = pt.matmul(&tvh);
+            add_assign(&mut oh.data, &pd.matmul(&dvh).data);
+            scatter_head(&mut value, &oh, h, head_dim);
+        }
+        self.push(
+            Op::TdAttention {
+                q,
+                tk,
+                tv,
+                dk,
+                dv,
+                n_heads,
+                window,
+            },
+            value,
+        )
+    }
+
     /// Reverse-mode sweep from a scalar `root` (`[1, 1]`): the single
     /// backward dispatcher. Returns per-node gradients; leaves the tape's
     /// forward values untouched, so multiple roots can be differentiated.
@@ -610,6 +691,31 @@ impl Tape {
                     accumulate(&mut grads[*k], dk);
                     accumulate(&mut grads[*v], dv);
                 }
+                Op::TdAttention {
+                    q,
+                    tk,
+                    tv,
+                    dk,
+                    dv,
+                    n_heads,
+                    window,
+                } => {
+                    let (dq, dtk, dtv, ddk, ddv) = td_attention_backward(
+                        self.value(*q),
+                        self.value(*tk),
+                        self.value(*dk),
+                        self.value(*tv),
+                        self.value(*dv),
+                        *n_heads,
+                        *window,
+                        &g,
+                    );
+                    accumulate(&mut grads[*q], dq);
+                    accumulate(&mut grads[*tk], dtk);
+                    accumulate(&mut grads[*tv], dtv);
+                    accumulate(&mut grads[*dk], ddk);
+                    accumulate(&mut grads[*dv], ddv);
+                }
             }
         }
         Gradients { grads }
@@ -710,6 +816,180 @@ fn attention_backward(
         scatter_head(&mut dv, &dvh, h, head_dim);
     }
     (dq, dk, dv)
+}
+
+/// Softmax probability matrix `[t, 2t]` for one TdAttention head: columns
+/// `0..t` index the target keys, columns `t..2t` the draft keys. Query `i`
+/// sees target column `j` iff `j + window ≤ i` and draft column `j` iff
+/// `j ≤ i < j + window`. Both score blocks (`S1 = q·tkᵀ`, `S2 = q·dkᵀ`)
+/// are computed once up front and only indexed per row — the O(t²)
+/// optimized path from DESIGN.md §2.8.
+fn td_probs(qh: &Tensor, tkh: &Tensor, dkh: &Tensor, head_dim: usize, window: usize) -> Tensor {
+    let scale = 1.0 / (head_dim as f32).sqrt();
+    let t = qh.rows;
+    let s1 = qh.matmul_transposed(tkh);
+    let s2 = qh.matmul_transposed(dkh);
+    let mut s = Tensor::zeros(t, 2 * t);
+    for i in 0..t {
+        let row = s.row_mut(i);
+        for j in 0..t {
+            row[j] = if j + window <= i {
+                s1.row(i)[j] * scale
+            } else {
+                f32::NEG_INFINITY
+            };
+            row[t + j] = if j <= i && i < j + window {
+                s2.row(i)[j] * scale
+            } else {
+                f32::NEG_INFINITY
+            };
+        }
+        softmax_row(row);
+    }
+    s
+}
+
+/// Split `[t, 2c]` into two `[t, c]` halves (left | right).
+fn split_cols(p: &Tensor, c: usize) -> (Tensor, Tensor) {
+    let mut left = Tensor::zeros(p.rows, c);
+    let mut right = Tensor::zeros(p.rows, c);
+    for i in 0..p.rows {
+        let row = p.row(i);
+        left.row_mut(i).copy_from_slice(&row[..c]);
+        right.row_mut(i).copy_from_slice(&row[c..]);
+    }
+    (left, right)
+}
+
+/// Backward of [`Tape::td_attention`]. Equivalent to masked attention over
+/// the stacked key/value matrices `[K; K']`, `[V; V']` (`[2t, dim]` per
+/// head) with the TD visibility mask; probabilities are recomputed per head
+/// (flash-style), masked entries have `p = 0` so their score gradient
+/// vanishes, and the stacked gradients split back to the four K/V inputs.
+#[allow(clippy::too_many_arguments)]
+fn td_attention_backward(
+    q: &Tensor,
+    tk: &Tensor,
+    dk: &Tensor,
+    tv: &Tensor,
+    dv: &Tensor,
+    n_heads: usize,
+    window: usize,
+    g: &Tensor,
+) -> (Tensor, Tensor, Tensor, Tensor, Tensor) {
+    let head_dim = q.cols / n_heads;
+    let scale = 1.0 / (head_dim as f32).sqrt();
+    let mut dq = Tensor::zeros(q.rows, q.cols);
+    let mut dtk = Tensor::zeros(tk.rows, tk.cols);
+    let mut dtv = Tensor::zeros(tv.rows, tv.cols);
+    let mut ddk = Tensor::zeros(dk.rows, dk.cols);
+    let mut ddv = Tensor::zeros(dv.rows, dv.cols);
+    for h in 0..n_heads {
+        let qh = gather_head(q, h, head_dim);
+        let tkh = gather_head(tk, h, head_dim);
+        let dkh = gather_head(dk, h, head_dim);
+        let tvh = gather_head(tv, h, head_dim);
+        let dvh = gather_head(dv, h, head_dim);
+        let gh = gather_head(g, h, head_dim);
+        let p = td_probs(&qh, &tkh, &dkh, head_dim, window);
+        let (pt, pd) = split_cols(&p, qh.rows);
+        // out = pt·tvh + pd·dvh  ⇒  dtvh = ptᵀ·gh, ddvh = pdᵀ·gh,
+        // dp = [gh·tvhᵀ | gh·dvhᵀ].
+        let dtvh = pt.transpose().matmul(&gh);
+        let ddvh = pd.transpose().matmul(&gh);
+        let dpt = gh.matmul_transposed(&tvh);
+        let dpd = gh.matmul_transposed(&dvh);
+        let mut ds = Tensor::zeros(p.rows, p.cols);
+        for i in 0..p.rows {
+            let row = ds.row_mut(i);
+            row[..qh.rows].copy_from_slice(dpt.row(i));
+            row[qh.rows..].copy_from_slice(dpd.row(i));
+        }
+        // Softmax backward per row over the combined visible set.
+        for i in 0..ds.rows {
+            let pr = p.row(i);
+            let dr = ds.row_mut(i);
+            let s = dot(dr, pr);
+            for (x, &pv) in dr.iter_mut().zip(pr) {
+                *x = pv * (*x - s);
+            }
+        }
+        let (dst, dsd) = split_cols(&ds, qh.rows);
+        // s1 = scale·qh·tkhᵀ, s2 = scale·qh·dkhᵀ (masked) ⇒
+        // dqh = scale·(dst·tkh + dsd·dkh), dtkh = scale·dstᵀ·qh, ….
+        let mut dqh = dst.matmul(&tkh);
+        add_assign(&mut dqh.data, &dsd.matmul(&dkh).data);
+        for x in dqh.data.iter_mut() {
+            *x *= scale;
+        }
+        let mut dtkh = dst.transpose().matmul(&qh);
+        for x in dtkh.data.iter_mut() {
+            *x *= scale;
+        }
+        let mut ddkh = dsd.transpose().matmul(&qh);
+        for x in ddkh.data.iter_mut() {
+            *x *= scale;
+        }
+        scatter_head(&mut dq, &dqh, h, head_dim);
+        scatter_head(&mut dtk, &dtkh, h, head_dim);
+        scatter_head(&mut dtv, &dtvh, h, head_dim);
+        scatter_head(&mut ddk, &ddkh, h, head_dim);
+        scatter_head(&mut ddv, &ddvh, h, head_dim);
+    }
+    (dq, dtk, dtv, ddk, ddv)
+}
+
+/// Naive per-position reference for [`Tape::td_attention`]: for every query
+/// row it gathers the visible target/draft key–value pairs one by one,
+/// computes scores with explicit dot products, and softmaxes just that set.
+/// Same O(t²·d) asymptotics but none of the precomputed-score indexing —
+/// tests pin the optimized kernel against this, per DESIGN.md §2.8.
+pub fn td_attention_reference(
+    q: &Tensor,
+    tk: &Tensor,
+    tv: &Tensor,
+    dk: &Tensor,
+    dv: &Tensor,
+    n_heads: usize,
+    window: usize,
+) -> Tensor {
+    assert!(window >= 1, "TdAttention window must be at least 1");
+    let head_dim = q.cols / n_heads;
+    assert_eq!(head_dim * n_heads, q.cols, "dim must divide into heads");
+    let scale = 1.0 / (head_dim as f32).sqrt();
+    let t = q.rows;
+    let mut out = Tensor::zeros(t, q.cols);
+    for h in 0..n_heads {
+        let cols = h * head_dim..(h + 1) * head_dim;
+        for i in 0..t {
+            // Visible set for query i: target rows j ≤ i−w, then draft
+            // rows i−w < j ≤ i (at least the draft row j = i).
+            let mut keys: Vec<&[f32]> = Vec::new();
+            let mut vals: Vec<&[f32]> = Vec::new();
+            for j in 0..t {
+                if j + window <= i {
+                    keys.push(&tk.row(j)[cols.clone()]);
+                    vals.push(&tv.row(j)[cols.clone()]);
+                }
+            }
+            for j in 0..t {
+                if j <= i && i < j + window {
+                    keys.push(&dk.row(j)[cols.clone()]);
+                    vals.push(&dv.row(j)[cols.clone()]);
+                }
+            }
+            let qi = &q.row(i)[cols.clone()];
+            let mut scores: Vec<f32> = keys.iter().map(|kj| dot(qi, kj) * scale).collect();
+            softmax_row(&mut scores);
+            let oi = &mut out.row_mut(i)[cols.clone()];
+            for (p, vj) in scores.iter().zip(&vals) {
+                for (o, &x) in oi.iter_mut().zip(*vj) {
+                    *o += p * x;
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Backward of row-wise RMS norm (`y = x ⊙ gain / rms(x)`).
@@ -964,6 +1244,95 @@ mod tests {
         assert_eq!(ya, yb);
         assert_eq!(dqa, dqb);
         assert_eq!(dka, dkb);
+    }
+
+    #[test]
+    fn gradcheck_td_attention() {
+        let mut rng = Rng::new(21);
+        let (t, dim) = (4, 8);
+        // Leaves: q, target K/V, draft K/V — all gradient sinks, like the
+        // distillation wiring where target rows are tape leaves.
+        let leaves = [
+            randn(&mut rng, t, dim),
+            randn(&mut rng, t, dim),
+            randn(&mut rng, t, dim),
+            randn(&mut rng, t, dim),
+            randn(&mut rng, t, dim),
+        ];
+        fd_check(&leaves, &|tape, ids| {
+            let y = tape.td_attention(ids[0], ids[1], ids[2], ids[3], ids[4], 2, 2);
+            weighted_sum(tape, y, 0xA4)
+        });
+    }
+
+    #[test]
+    fn gradcheck_td_attention_window_one() {
+        let mut rng = Rng::new(22);
+        let (t, dim) = (3, 8);
+        // w = 1: each query sees only its own draft key plus all strictly
+        // older target keys — the tightest window the loss uses.
+        let leaves = [
+            randn(&mut rng, t, dim),
+            randn(&mut rng, t, dim),
+            randn(&mut rng, t, dim),
+            randn(&mut rng, t, dim),
+            randn(&mut rng, t, dim),
+        ];
+        fd_check(&leaves, &|tape, ids| {
+            let y = tape.td_attention(ids[0], ids[1], ids[2], ids[3], ids[4], 4, 1);
+            weighted_sum(tape, y, 0xB4)
+        });
+    }
+
+    /// The optimized precomputed-score kernel must match the naive
+    /// per-position reference for every window, per DESIGN.md §2.8.
+    #[test]
+    fn td_attention_matches_naive_reference() {
+        let mut rng = Rng::new(23);
+        let (t, dim, heads) = (5, 8, 2);
+        let q = randn(&mut rng, t, dim);
+        let tk = randn(&mut rng, t, dim);
+        let tv = randn(&mut rng, t, dim);
+        let dk = randn(&mut rng, t, dim);
+        let dv = randn(&mut rng, t, dim);
+        for window in 1..=t + 1 {
+            let mut tape = Tape::new();
+            let ids: Vec<VarId> = [&q, &tk, &tv, &dk, &dv]
+                .iter()
+                .map(|x| tape.leaf((*x).clone()))
+                .collect();
+            let y = tape.td_attention(ids[0], ids[1], ids[2], ids[3], ids[4], heads, window);
+            let naive = td_attention_reference(&q, &tk, &tv, &dk, &dv, heads, window);
+            for (a, b) in tape.value(y).data.iter().zip(&naive.data) {
+                assert!(
+                    (a - b).abs() < 1e-5,
+                    "optimized {a} vs naive {b} at window {window}"
+                );
+            }
+        }
+    }
+
+    /// With `window ≥ t` no target key is ever visible, so TdAttention
+    /// collapses to causal self-attention over the draft keys/values.
+    #[test]
+    fn td_attention_with_large_window_is_causal_over_draft() {
+        let mut rng = Rng::new(24);
+        let (t, dim, heads) = (4, 8, 2);
+        let q = randn(&mut rng, t, dim);
+        let tk = randn(&mut rng, t, dim);
+        let tv = randn(&mut rng, t, dim);
+        let dk = randn(&mut rng, t, dim);
+        let dv = randn(&mut rng, t, dim);
+        let mut tape = Tape::new();
+        let ids: Vec<VarId> = [&q, &tk, &tv, &dk, &dv]
+            .iter()
+            .map(|x| tape.leaf((*x).clone()))
+            .collect();
+        let y = tape.td_attention(ids[0], ids[1], ids[2], ids[3], ids[4], heads, t);
+        let c = tape.causal_attention(ids[0], ids[3], ids[4], heads);
+        for (a, b) in tape.value(y).data.iter().zip(&tape.value(c).data) {
+            assert!((a - b).abs() < 1e-6, "td {a} vs causal {b}");
+        }
     }
 
     /// Composite graph: every op chained at once still gradchecks — guards

@@ -115,20 +115,24 @@ use std::time::Instant;
 /// this frozen constant so the comparison survives re-benching.
 const PR5_FUSED_CTX512_MS: f64 = 0.968288;
 
-/// Highest-numbered committed `BENCH_PR<n>.json` in the working directory,
-/// skipping the snapshot currently being written — so the regression gate
-/// always races against the latest landed baseline and never has to be
-/// re-pointed by hand when a new PR freezes a new snapshot. The PR number
-/// is compared **numerically** (BENCH_PR10 beats BENCH_PR9; a
-/// lexicographic scan would pick PR9), which the unit test below pins with
-/// a two-digit fixture.
-fn latest_committed_snapshot(out_path: &str) -> Option<String> {
-    latest_committed_snapshot_in(".", out_path)
+/// Highest-numbered committed `BENCH_PR<n>.json` in the working directory
+/// **that contains `marker`**, skipping the snapshot currently being
+/// written — so the regression gate always races against the latest landed
+/// baseline and never has to be re-pointed by hand when a new PR freezes a
+/// new snapshot. The PR number is compared **numerically** (BENCH_PR10
+/// beats BENCH_PR9; a lexicographic scan would pick PR9), which the unit
+/// test below pins with a two-digit fixture. The marker filter exists
+/// because not every committed snapshot is a perf snapshot — PR 10's
+/// `BENCH_PR10.json` is the table1 acceptance grid, with no `decode_step`
+/// or `pipeline` section; without the filter it would become the baseline
+/// and silently disable both regression gates.
+fn latest_committed_snapshot(out_path: &str, marker: &str) -> Option<String> {
+    latest_committed_snapshot_in(".", out_path, marker)
 }
 
 /// [`latest_committed_snapshot`] over an explicit directory (testable).
-fn latest_committed_snapshot_in(dir: &str, out_path: &str) -> Option<String> {
-    let mut best: Option<(u32, String)> = None;
+fn latest_committed_snapshot_in(dir: &str, out_path: &str, marker: &str) -> Option<String> {
+    let mut candidates: Vec<(u32, String)> = Vec::new();
     for entry in std::fs::read_dir(dir).ok()?.flatten() {
         let Ok(name) = entry.file_name().into_string() else {
             continue;
@@ -143,11 +147,13 @@ fn latest_committed_snapshot_in(dir: &str, out_path: &str) -> Option<String> {
         if name == out_path {
             continue;
         }
-        if best.as_ref().is_none_or(|(b, _)| num > *b) {
-            best = Some((num, name));
-        }
+        candidates.push((num, name));
     }
-    best.map(|(_, name)| name)
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
+    candidates.into_iter().map(|(_, name)| name).find(|name| {
+        std::fs::read_to_string(std::path::Path::new(dir).join(name))
+            .is_ok_and(|text| text.contains(marker))
+    })
 }
 
 /// `--smoke` gate: scan the latest committed `BENCH_PR*.json` for the fused
@@ -171,7 +177,7 @@ fn decode_step_regressions(fresh: &[(usize, f64, f64)], out_path: &str) -> Vec<S
     /// (kernel-level wins/losses on this path run 1.2×–2.3×).
     const REGRESSION_SLACK: f64 = 1.25;
     let mut failures = Vec::new();
-    let Some(baseline_path) = latest_committed_snapshot(out_path) else {
+    let Some(baseline_path) = latest_committed_snapshot(out_path, "\"decode_step\"") else {
         println!("(no committed BENCH_PR*.json found; skipping decode-step regression check)");
         return failures;
     };
@@ -223,7 +229,7 @@ fn decode_step_regressions(fresh: &[(usize, f64, f64)], out_path: &str) -> Vec<S
 fn pipeline_regressions(fresh: &[(usize, f64)], out_path: &str) -> Vec<String> {
     const MIN_FRACTION: f64 = 0.70;
     let mut failures = Vec::new();
-    let Some(baseline_path) = latest_committed_snapshot(out_path) else {
+    let Some(baseline_path) = latest_committed_snapshot(out_path, "\"pipeline\"") else {
         return failures;
     };
     let Ok(text) = std::fs::read_to_string(&baseline_path) else {
@@ -1948,20 +1954,45 @@ mod tests {
             "BENCH_PRx.json",
             "notes.txt",
         ] {
-            std::fs::write(dir.join(name), "{}\n").unwrap();
+            std::fs::write(dir.join(name), "{\"decode_step\": []}\n").unwrap();
         }
         let dir = dir.to_str().unwrap().to_string();
         assert_eq!(
-            latest_committed_snapshot_in(&dir, "BENCH_PR11.json").as_deref(),
+            latest_committed_snapshot_in(&dir, "BENCH_PR11.json", "\"decode_step\"").as_deref(),
             Some("BENCH_PR10.json"),
             "two-digit PR must beat one-digit PRs"
         );
         // The snapshot currently being written is never its own baseline.
         assert_eq!(
-            latest_committed_snapshot_in(&dir, "BENCH_PR10.json").as_deref(),
+            latest_committed_snapshot_in(&dir, "BENCH_PR10.json", "\"decode_step\"").as_deref(),
             Some("BENCH_PR9.json")
         );
-        assert_eq!(latest_committed_snapshot_in("/nonexistent", "x.json"), None);
+        assert_eq!(
+            latest_committed_snapshot_in("/nonexistent", "x.json", ""),
+            None
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A committed snapshot that isn't a perf snapshot (the table1 grid)
+    /// must not become the regression baseline: the scanner walks back to
+    /// the newest snapshot that actually has the section it needs.
+    #[test]
+    fn snapshot_discovery_skips_snapshots_without_marker() {
+        let dir = std::env::temp_dir().join(format!("aasd_bench_grid_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("BENCH_PR9.json"), "{\"decode_step\": []}\n").unwrap();
+        std::fs::write(dir.join("BENCH_PR10.json"), "{\"table1\": []}\n").unwrap();
+        let dir = dir.to_str().unwrap().to_string();
+        assert_eq!(
+            latest_committed_snapshot_in(&dir, "BENCH_PR11.json", "\"decode_step\"").as_deref(),
+            Some("BENCH_PR9.json"),
+            "table1 grid must be skipped for the decode_step baseline"
+        );
+        assert_eq!(
+            latest_committed_snapshot_in(&dir, "BENCH_PR11.json", "\"table1\"").as_deref(),
+            Some("BENCH_PR10.json")
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,238 @@
+//! The closed-vocabulary grammar: deterministic text about a [`Scene`].
+//!
+//! Every emitter is a pure function of the scene (plus, for VQA, the asked
+//! color), so **fixed scene ⇒ fixed text** and any content perturbation
+//! that changes a count, color, shape, or the largest object changes the
+//! emitted tokens — the label-consistency property the workload tests pin.
+//!
+//! Tokens are indices into [`WORDS`]; [`VOCAB`] is the language-model
+//! vocabulary size the Sim targets are built with.
+
+use crate::scene::{Color, Scene, Shape};
+
+/// The entire closed vocabulary. Token id = index into this array.
+pub const WORDS: [&str; 32] = [
+    // colors 0..4
+    "red", "green", "blue", "yellow", // shapes 4..7
+    "circle", "square", "triangle", // numbers 7..11
+    "zero", "one", "two", "three", // glue 11..
+    "the", "scene", "shows", "and", ".", ";", ":", "?", "there", "are", "how", "many", "objects",
+    "which", "object", "is", "largest", "count", "step", "by", "total",
+];
+
+/// Vocabulary size for model construction.
+pub const VOCAB: usize = WORDS.len();
+
+/// Token id of a vocabulary word (panics on unknown words — the grammar is
+/// closed by construction).
+pub fn word(w: &str) -> u32 {
+    WORDS
+        .iter()
+        .position(|x| *x == w)
+        .unwrap_or_else(|| panic!("word {w:?} not in the closed vocabulary")) as u32
+}
+
+/// Render token ids back to text (debugging / docs).
+pub fn detokenize(tokens: &[u32]) -> String {
+    tokens
+        .iter()
+        .map(|&t| WORDS[t as usize])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn color_word(c: Color) -> u32 {
+    c as u32
+}
+
+fn shape_word(s: Shape) -> u32 {
+    4 + s as u32
+}
+
+fn num_word(n: usize) -> u32 {
+    assert!(n <= 3, "counts are bounded by MAX_OBJS");
+    7 + n as u32
+}
+
+/// Canonical (color, shape) groups with non-zero counts, in fixed
+/// color-major order — the shared enumeration captions and CoT both use.
+fn groups(scene: &Scene) -> Vec<(Color, Shape, usize)> {
+    let mut out = Vec::new();
+    for &c in &Color::ALL {
+        for &s in &Shape::ALL {
+            let n = scene.count_group(c, s);
+            if n > 0 {
+                out.push((c, s, n));
+            }
+        }
+    }
+    out
+}
+
+/// Captioning prompt: `the scene shows`.
+pub fn caption_prompt() -> Vec<u32> {
+    vec![word("the"), word("scene"), word("shows")]
+}
+
+/// Captioning reference: `<num> <color> <shape> [and <num> <color> <shape>]* .`
+pub fn caption_reference(scene: &Scene) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (i, (c, s, n)) in groups(scene).iter().enumerate() {
+        if i > 0 {
+            out.push(word("and"));
+        }
+        out.push(num_word(*n));
+        out.push(color_word(*c));
+        out.push(shape_word(*s));
+    }
+    out.push(word("."));
+    out
+}
+
+/// VQA count task: `how many <color> objects ?` → `there are <num> .`
+pub fn vqa_count(scene: &Scene, color: Color) -> (Vec<u32>, Vec<u32>) {
+    let prompt = vec![
+        word("how"),
+        word("many"),
+        color_word(color),
+        word("objects"),
+        word("?"),
+    ];
+    let reference = vec![
+        word("there"),
+        word("are"),
+        num_word(scene.count_color(color)),
+        word("."),
+    ];
+    (prompt, reference)
+}
+
+/// VQA superlative task: `which object is largest ?` → `the <color> <shape> .`
+pub fn vqa_largest(scene: &Scene) -> (Vec<u32>, Vec<u32>) {
+    let prompt = vec![
+        word("which"),
+        word("object"),
+        word("is"),
+        word("largest"),
+        word("?"),
+    ];
+    let big = scene.largest();
+    let reference = vec![
+        word("the"),
+        color_word(big.color),
+        shape_word(big.shape),
+        word("."),
+    ];
+    (prompt, reference)
+}
+
+/// Chain-of-thought counting: `count the objects step by step :` →
+/// `<color> <shape> : <num> ; … total : <num> .` — the per-group tally
+/// precedes the total, so the model must carry intermediate state.
+pub fn cot(scene: &Scene) -> (Vec<u32>, Vec<u32>) {
+    let prompt = vec![
+        word("count"),
+        word("the"),
+        word("objects"),
+        word("step"),
+        word("by"),
+        word("step"),
+        word(":"),
+    ];
+    let mut reference = Vec::new();
+    for (c, s, n) in groups(scene) {
+        reference.extend([
+            color_word(c),
+            shape_word(s),
+            word(":"),
+            num_word(n),
+            word(";"),
+        ]);
+    }
+    reference.extend([
+        word("total"),
+        word(":"),
+        num_word(scene.objs.len()),
+        word("."),
+    ]);
+    (prompt, reference)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::{Obj, Size};
+
+    fn scene() -> Scene {
+        Scene {
+            objs: vec![
+                Obj {
+                    shape: Shape::Circle,
+                    color: Color::Red,
+                    size: Size::Small,
+                    row: 0,
+                    col: 0,
+                },
+                Obj {
+                    shape: Shape::Circle,
+                    color: Color::Red,
+                    size: Size::Large,
+                    row: 2,
+                    col: 3,
+                },
+                Obj {
+                    shape: Shape::Square,
+                    color: Color::Blue,
+                    size: Size::Small,
+                    row: 1,
+                    col: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn words_are_unique() {
+        for (i, a) in WORDS.iter().enumerate() {
+            for b in &WORDS[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn caption_reads_correctly() {
+        let r = caption_reference(&scene());
+        assert_eq!(detokenize(&r), "two red circle and one blue square .");
+    }
+
+    #[test]
+    fn vqa_and_cot_read_correctly() {
+        let s = scene();
+        let (p, r) = vqa_count(&s, Color::Red);
+        assert_eq!(detokenize(&p), "how many red objects ?");
+        assert_eq!(detokenize(&r), "there are two .");
+        let (_, r) = vqa_count(&s, Color::Yellow);
+        assert_eq!(detokenize(&r), "there are zero .");
+        let (p, r) = vqa_largest(&s);
+        assert_eq!(detokenize(&p), "which object is largest ?");
+        assert_eq!(detokenize(&r), "the red circle .");
+        let (p, r) = cot(&s);
+        assert_eq!(detokenize(&p), "count the objects step by step :");
+        assert_eq!(
+            detokenize(&r),
+            "red circle : two ; blue square : one ; total : three ."
+        );
+    }
+
+    #[test]
+    fn perturbing_scene_content_changes_text() {
+        let a = scene();
+        let mut b = a.clone();
+        b.objs[2].color = Color::Green;
+        assert_ne!(caption_reference(&a), caption_reference(&b));
+        assert_ne!(cot(&a).1, cot(&b).1);
+        // Fixed scene ⇒ fixed text.
+        assert_eq!(caption_reference(&a), caption_reference(&a.clone()));
+    }
+}

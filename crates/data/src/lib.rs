@@ -1,0 +1,32 @@
+//! `aasd-data` — procedural multimodal workloads where **image content
+//! determines text** (DESIGN.md §2.5).
+//!
+//! Real MLLM evaluation sets pair images with text that is *about* the
+//! image; random-token benchmarks cannot measure whether a draft model's
+//! acceptance rate generalizes, which is exactly the weakness PR 5 flagged
+//! (α spanning 0.06–1.0 on random prompts). This crate closes that gap with
+//! a fully synthetic but *learnable* world:
+//!
+//! * [`Scene`] — colored shapes with sizes and positions on a grid;
+//! * [`render`] — deterministic scene → `[n_patches, patch_dim]`
+//!   [`aasd_mm::Image`] rendering (Gaussian spatial bumps × fixed
+//!   color⊙shape signatures: low-rank, scalar-arithmetic-only);
+//! * [`grammar`] — a closed [`VOCAB`]-word grammar emitting captions, VQA
+//!   answers, and chain-of-thought counting, every token a pure function of
+//!   the scene;
+//! * [`Workload`] — the three named evaluation sets ([`WorkloadKind`]:
+//!   `WildSim` mixed, `CocoCapSim` captioning, `SqaSim` CoT), each a seeded
+//!   deterministic O(1)-random-access stream of (image, prompt, reference)
+//!   [`Sample`] triples with disjoint train/held-out [`Split`]s.
+//!
+//! Determinism is bit-exact across machines and `AASD_KERNEL` tiers —
+//! pinned by `tests/workload_determinism.rs` at the workspace root via
+//! [`stream_hash`] golden values.
+
+pub mod grammar;
+pub mod scene;
+pub mod workload;
+
+pub use grammar::{detokenize, word, VOCAB, WORDS};
+pub use scene::{render, Color, Obj, Scene, Shape, Size, GRID, MAX_OBJS};
+pub use workload::{stream_hash, Sample, Split, Workload, WorkloadKind};

@@ -1,0 +1,225 @@
+//! Procedural shape scenes and their deterministic renderer.
+//!
+//! A [`Scene`] is a handful of colored shapes on a small grid; [`render`]
+//! turns it into the `[n_patches, patch_dim]` float [`Image`] the LlavaSim
+//! stack consumes. The renderer is what makes **image content determine
+//! text**: every object contributes a spatial bump (a Gaussian over the
+//! patch grid centered at its position) times a fixed color⊙shape signature
+//! vector, so a model that reads the patches can recover exactly the facts
+//! the grammar verbalizes — which colors, which shapes, how many, and which
+//! is largest.
+//!
+//! Two properties are deliberate:
+//! * **Low rank.** A scene holds at most [`MAX_OBJS`] objects, so the patch
+//!   matrix is approximately rank ≤ `MAX_OBJS` plus small noise — the same
+//!   spatial redundancy `Image::synthetic` documents, which is what the
+//!   KV projector monetizes. A full-rank renderer would quietly turn the
+//!   projector ablation into a strawman.
+//! * **Scalar arithmetic only.** Rendering uses plain f32 ops (no
+//!   dispatched kernels), so the emitted streams are bit-identical across
+//!   `AASD_KERNEL` tiers — pinned by the golden-hash determinism test.
+
+use aasd_mm::Image;
+use aasd_tensor::{Rng, Tensor};
+
+/// Object positions live on a `GRID × GRID` board.
+pub const GRID: usize = 4;
+/// A scene holds 1..=MAX_OBJS objects.
+pub const MAX_OBJS: usize = 3;
+
+/// Fixed global seed for the color/shape signature vectors — the stable
+/// "visual language" every scene is drawn in, independent of the sample
+/// stream seed so all workloads share one vocabulary of appearances.
+const SIGNATURE_SEED: u64 = 0x5157_1A11_C0DE_D001;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Shape {
+    Circle,
+    Square,
+    Triangle,
+}
+
+impl Shape {
+    pub const ALL: [Shape; 3] = [Shape::Circle, Shape::Square, Shape::Triangle];
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Color {
+    Red,
+    Green,
+    Blue,
+    Yellow,
+}
+
+impl Color {
+    pub const ALL: [Color; 4] = [Color::Red, Color::Green, Color::Blue, Color::Yellow];
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Size {
+    Small,
+    Large,
+}
+
+/// One object: a colored shape of a given size at a grid cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Obj {
+    pub shape: Shape,
+    pub color: Color,
+    pub size: Size,
+    pub row: usize,
+    pub col: usize,
+}
+
+/// A complete scene — the single source of truth both the renderer and the
+/// grammar read, which is what makes labels consistent by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scene {
+    pub objs: Vec<Obj>,
+}
+
+impl Scene {
+    /// Draw a random scene from `rng`: 1..=MAX_OBJS objects with uniform
+    /// shape/color/size/position.
+    pub fn sample(rng: &mut Rng) -> Self {
+        let n = 1 + rng.below(MAX_OBJS);
+        let objs = (0..n)
+            .map(|_| Obj {
+                shape: Shape::ALL[rng.below(3)],
+                color: Color::ALL[rng.below(4)],
+                size: if rng.below(2) == 0 {
+                    Size::Small
+                } else {
+                    Size::Large
+                },
+                row: rng.below(GRID),
+                col: rng.below(GRID),
+            })
+            .collect();
+        Scene { objs }
+    }
+
+    /// Count of objects with the given color.
+    pub fn count_color(&self, color: Color) -> usize {
+        self.objs.iter().filter(|o| o.color == color).count()
+    }
+
+    /// Count of objects in the (color, shape) group.
+    pub fn count_group(&self, color: Color, shape: Shape) -> usize {
+        self.objs
+            .iter()
+            .filter(|o| o.color == color && o.shape == shape)
+            .count()
+    }
+
+    /// The largest object: maximal size, ties broken by canonical
+    /// (color, shape) order then insertion order — fully deterministic.
+    pub fn largest(&self) -> Obj {
+        *self
+            .objs
+            .iter()
+            .min_by_key(|o| (std::cmp::Reverse(o.size), o.color, o.shape))
+            .expect("scene has at least one object")
+    }
+}
+
+/// Deterministic signature vector for a (color, shape) pair: the fixed
+/// appearance every object of that kind shares, drawn once from the global
+/// signature seed.
+fn signature(color: Color, shape: Shape, patch_dim: usize) -> Vec<f32> {
+    let id = (color as u64) * 8 + shape as u64;
+    let mut rng = Rng::new(SIGNATURE_SEED ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    (0..patch_dim).map(|_| rng.normal()).collect()
+}
+
+/// Render `scene` into an `[n_patches, patch_dim]` image. Patch `p` sits at
+/// grid cell `(p / side, p % side)` with `side = ceil(sqrt(n_patches))`;
+/// each object adds `amp(p) · signature(color, shape)` where `amp` is a
+/// Gaussian bump centered at the object's cell whose width and height scale
+/// with its size. `noise_rng` adds small i.i.d. noise so patches are never
+/// exactly rank-deficient (mirroring `Image::synthetic`).
+pub fn render(scene: &Scene, n_patches: usize, patch_dim: usize, noise_rng: &mut Rng) -> Image {
+    let side = (1..).find(|s| s * s >= n_patches).unwrap();
+    let mut patches = Tensor::zeros(n_patches, patch_dim);
+    for obj in &scene.objs {
+        let sig = signature(obj.color, obj.shape, patch_dim);
+        let (sigma, gain) = match obj.size {
+            Size::Small => (0.6f32, 1.0f32),
+            Size::Large => (1.1f32, 1.6f32),
+        };
+        // Object grid coords rescaled onto the patch grid.
+        let oy = obj.row as f32 * (side as f32 - 1.0) / (GRID as f32 - 1.0);
+        let ox = obj.col as f32 * (side as f32 - 1.0) / (GRID as f32 - 1.0);
+        for p in 0..n_patches {
+            let py = (p / side) as f32;
+            let px = (p % side) as f32;
+            let d2 = (py - oy) * (py - oy) + (px - ox) * (px - ox);
+            let amp = gain * (-d2 / (2.0 * sigma * sigma)).exp();
+            if amp < 1e-4 {
+                continue;
+            }
+            let row = patches.row_mut(p);
+            for (x, s) in row.iter_mut().zip(&sig) {
+                *x += amp * s;
+            }
+        }
+    }
+    for x in patches.data.iter_mut() {
+        *x += 0.05 * noise_rng.normal();
+    }
+    Image { patches }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_respects_bounds() {
+        let mut rng = Rng::new(7);
+        for _ in 0..100 {
+            let s = Scene::sample(&mut rng);
+            assert!(!s.objs.is_empty() && s.objs.len() <= MAX_OBJS);
+            for o in &s.objs {
+                assert!(o.row < GRID && o.col < GRID);
+            }
+        }
+    }
+
+    #[test]
+    fn render_is_deterministic_and_content_sensitive() {
+        let mut rng = Rng::new(9);
+        let scene = Scene::sample(&mut rng);
+        let a = render(&scene, 16, 27, &mut Rng::new(1));
+        let b = render(&scene, 16, 27, &mut Rng::new(1));
+        assert_eq!(a.content_hash(), b.content_hash());
+
+        // Changing one object's color must change the pixels.
+        let mut other = scene.clone();
+        other.objs[0].color = match other.objs[0].color {
+            Color::Red => Color::Green,
+            _ => Color::Red,
+        };
+        let c = render(&other, 16, 27, &mut Rng::new(1));
+        assert_ne!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn largest_is_deterministic_under_ties() {
+        let obj = |color, shape| Obj {
+            shape,
+            color,
+            size: Size::Large,
+            row: 0,
+            col: 0,
+        };
+        let s = Scene {
+            objs: vec![
+                obj(Color::Blue, Shape::Square),
+                obj(Color::Red, Shape::Circle),
+            ],
+        };
+        // Canonical order: Red < Blue, Circle < Square.
+        assert_eq!(s.largest().color, Color::Red);
+    }
+}

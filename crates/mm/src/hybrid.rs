@@ -73,9 +73,21 @@ impl Default for Ablation {
 /// dim-sized FFN — roughly an order of magnitude cheaper per token. Sharing
 /// the width is what lets the KV projector be a pure row compression.
 pub fn draft_for(cfg: &LlavaSimConfig, seed: u64) -> Decoder {
+    draft_for_depth(cfg, 1, seed)
+}
+
+/// [`draft_for`] with an explicit depth: still width-shared (the projector
+/// requirement) with a dim-sized FFN, but `n_layers` blocks. Depth ≥ 2
+/// matters on structured grammars — copying a token seen earlier in the
+/// stream (an induction head) needs two attention layers, and a draft that
+/// cannot copy caps its own α on any workload with self-referencing text.
+/// [`crate::projector::layer_map`] spreads the draft layers over the
+/// target's for KV seeding.
+pub fn draft_for_depth(cfg: &LlavaSimConfig, n_layers: usize, seed: u64) -> Decoder {
+    assert!(n_layers >= 1 && n_layers <= cfg.lm.n_layers);
     Decoder::new(
         DecoderConfig {
-            n_layers: 1,
+            n_layers,
             ff_hidden: cfg.lm.dim,
             ..cfg.lm.clone()
         },

@@ -34,10 +34,13 @@ pub mod train;
 pub mod vision;
 
 pub use hybrid::{
-    draft_for, mm_autoregressive_ws, mm_speculative_tree_ws, mm_speculative_ws, seed_draft_prefix,
-    Ablation,
+    draft_for, draft_for_depth, mm_autoregressive_ws, mm_speculative_tree_ws, mm_speculative_ws,
+    seed_draft_prefix, Ablation,
 };
 pub use llava::{LlavaSim, LlavaSimConfig};
 pub use projector::{layer_map, seed_raw_vision, KvProjector};
-pub use train::{distill_hybrid, HybridDistillConfig};
+pub use train::{
+    distill_hybrid, distill_hybrid_with, frozen_prefix_logits, mm_teacher_probs, mm_teacher_scored,
+    own_vision_rows, DistillSource, HybridDistillConfig, TdAlignConfig,
+};
 pub use vision::{Connector, Image, VisionConfig, VisionEncoder, VitBlock};

@@ -23,9 +23,8 @@ use crate::projector::KvProjector;
 use crate::vision::Image;
 use aasd_autograd::{Tape, VarId};
 use aasd_nn::{Decoder, KvCache};
-use aasd_specdec::autoregressive_greedy_seeded_ws;
-use aasd_tensor::{softmax_rows, Rng, Tensor, Workspace};
-use aasd_train::{Adam, Optimizer, Schedule};
+use aasd_tensor::{Rng, Tensor, Workspace};
+use aasd_train::{random_prompt, rollout_inputs, sharpen_to_probs, Adam, Optimizer, Schedule};
 
 /// Per-draft-layer prefix K/V rows, as constants or as tape products.
 enum PrefixRows {
@@ -206,22 +205,93 @@ impl HybridDistillConfig {
     }
 }
 
-/// The target's next-token distribution over `tokens` given the vision
-/// prefix already in `t_cache_proto` (a cache holding exactly the prefix):
-/// `[t, vocab]` rows, temperature-sharpened.
-fn mm_teacher_probs(model: &LlavaSim, image: &Image, tokens: &[u32], temperature: f32) -> Tensor {
+/// The target's vision-conditioned next-token distribution over `tokens`:
+/// `[t, vocab]` temperature-sharpened probability rows. This is the frozen
+/// teacher matrix every multimodal distillation loop (hybrid AASD and the
+/// baseline zoo) pins its student against.
+pub fn mm_teacher_probs(
+    model: &LlavaSim,
+    image: &Image,
+    tokens: &[u32],
+    temperature: f32,
+) -> Tensor {
+    mm_teacher_scored(model, image, tokens, temperature).0
+}
+
+/// [`mm_teacher_probs`] plus the scored target cache: the returned cache
+/// holds the vision prefix ∥ **all** `tokens` rows, so its last-layer text
+/// K/V slices are exactly the target hidden states the `TdAttention`
+/// alignment loss attends over.
+pub fn mm_teacher_scored(
+    model: &LlavaSim,
+    image: &Image,
+    tokens: &[u32],
+    temperature: f32,
+) -> (Tensor, KvCache) {
     let embeds = model.encode_image(image);
     let mut cache = model.lm.new_cache();
     model.lm.forward_infer_embeds(&embeds, &mut cache);
-    let mut logits = model.lm.forward_infer(tokens, &mut cache);
-    if temperature != 1.0 {
-        for v in &mut logits.data {
-            *v /= temperature;
-        }
-    }
-    softmax_rows(&mut logits.data, logits.cols);
-    logits
+    let logits = model.lm.forward_infer(tokens, &mut cache);
+    (sharpen_to_probs(logits, temperature), cache)
 }
+
+/// The per-layer `[n_img, dim]` vision K/V rows of `vlm`'s **own** LM over
+/// `image` (identity layer map). This is the frozen prefix a `TinyVlm`
+/// baseline student trains behind — its training-time twin of
+/// `prefill_vision_ws`, used by the `aasd-baselines` zoo.
+pub fn own_vision_rows(vlm: &LlavaSim, image: &Image) -> Vec<(Tensor, Tensor)> {
+    let embeds = vlm.encode_image(image);
+    let mut cache = vlm.lm.new_cache();
+    vlm.lm.forward_infer_embeds(&embeds, &mut cache);
+    (0..vlm.cfg.lm.n_layers)
+        .map(|l| vision_slice(&cache, l, vlm.n_img()))
+        .collect()
+}
+
+/// Tape forward of `lm` over `tokens` behind a frozen per-layer K/V prefix
+/// (`prefix[l]` are layer `l`'s `[p, dim]` rows; an empty slice means no
+/// prefix at all). Returns the `[t, vocab]` logits node plus the parameter
+/// leaves in canonical `visit_params_mut` order — the bridge that lets the
+/// baseline zoo train text-behind-vision students through the generic
+/// `aasd-train` machinery.
+pub fn frozen_prefix_logits(
+    tape: &mut Tape,
+    lm: &Decoder,
+    tokens: &[u32],
+    prefix: &[(Tensor, Tensor)],
+) -> (VarId, Vec<VarId>) {
+    let (prefix_len, rows) = if prefix.is_empty() {
+        (0, PrefixRows::None)
+    } else {
+        assert_eq!(prefix.len(), lm.cfg.n_layers, "one K/V pair per layer");
+        (prefix[0].0.rows, PrefixRows::Frozen(prefix.to_vec()))
+    };
+    let (logits, params, proj) = student_logits(tape, lm, None, tokens, prefix_len, &rows);
+    debug_assert!(proj.is_empty());
+    (logits, params)
+}
+
+/// Target-Draft Attention alignment term (DESIGN.md §2.8): during
+/// distillation, an auxiliary head runs the draft's first-block queries
+/// through [`Tape::td_attention`] — attending over the **target's** text
+/// K/V rows outside the window and the draft's own rows inside it — and
+/// adds `weight ×` the KL of that branch's logits to the main loss. Pulling
+/// this branch toward the teacher aligns the draft's attention geometry
+/// with the target's hidden states, exactly the regime speculation decodes
+/// in (old context = target-verified, recent `window` tokens = draft).
+#[derive(Debug, Clone, Copy)]
+pub struct TdAlignConfig {
+    /// Draft window `w ≥ 1`: positions `i−w < j ≤ i` use draft K/V, older
+    /// positions use target K/V. Matching the speculation depth γ is the
+    /// natural choice.
+    pub window: usize,
+    /// Multiplier on the auxiliary KL before it is added to the main loss.
+    pub weight: f32,
+}
+
+/// One (image, prompt) training sample drawn per distillation step. The
+/// default stream is synthetic; `aasd-data` workloads plug in here.
+pub type DistillSource<'a> = &'a mut dyn FnMut(usize, &mut Rng) -> (Image, Vec<u32>);
 
 /// Hybrid-cache distillation (the AASD alignment recipe, multimodal
 /// flavour): per step, draw a synthetic image and random prompt, let the
@@ -232,9 +302,33 @@ fn mm_teacher_probs(model: &LlavaSim, image: &Image, tokens: &[u32], temperature
 pub fn distill_hybrid(
     model: &LlavaSim,
     draft: &mut Decoder,
+    projector: Option<&mut KvProjector>,
+    ablation: Ablation,
+    cfg: &HybridDistillConfig,
+) -> Vec<f32> {
+    let (n_img, patch_dim) = (model.n_img(), model.cfg.vision.patch_dim);
+    let (vocab, prompt_len) = (model.cfg.lm.vocab, cfg.prompt_len);
+    let mut source = move |_step: usize, rng: &mut Rng| {
+        let image = Image::synthetic(rng, n_img, patch_dim);
+        let prompt = random_prompt(rng, prompt_len, vocab);
+        (image, prompt)
+    };
+    distill_hybrid_with(model, draft, projector, ablation, cfg, None, &mut source)
+}
+
+/// [`distill_hybrid`] with a pluggable sample source and an optional
+/// [`TdAlignConfig`] auxiliary loss. The source is drawn once per step with
+/// the loop's seeded RNG; `aasd-data` workloads and the baseline zoo feed
+/// real (image, prompt) pairs through here, and the full AASD draft enables
+/// the TdAttention alignment term.
+pub fn distill_hybrid_with(
+    model: &LlavaSim,
+    draft: &mut Decoder,
     mut projector: Option<&mut KvProjector>,
     ablation: Ablation,
     cfg: &HybridDistillConfig,
+    td: Option<TdAlignConfig>,
+    source: DistillSource<'_>,
 ) -> Vec<f32> {
     let vocab = model.cfg.lm.vocab;
     assert_eq!(draft.cfg.vocab, vocab, "draft/target vocab mismatch");
@@ -243,29 +337,33 @@ pub fn distill_hybrid(
         "projector needs equal dims"
     );
     let n_img = model.n_img();
-    assert!(
-        n_img + cfg.prompt_len + cfg.gen_len <= model.cfg.lm.max_seq,
-        "rollout exceeds target context"
-    );
     let mut rng = Rng::new(cfg.seed);
     let mut ws = Workspace::new();
     let mut opt = Adam::new();
     let mut losses = Vec::with_capacity(cfg.steps);
     let n_draft_slots = draft.n_param_tensors();
+    let max_text = model.cfg.lm.max_seq - n_img;
 
     for step in 0..cfg.steps {
-        // -- teacher side: image, rollout, vision-conditioned probs -------
-        let image = Image::synthetic(&mut rng, n_img, model.cfg.vision.patch_dim);
-        let prompt: Vec<u32> = (0..cfg.prompt_len)
-            .map(|_| rng.below(vocab) as u32)
-            .collect();
+        // -- teacher side: sample, rollout, vision-conditioned probs ------
+        let (image, prompt) = source(step, &mut rng);
+        assert!(!prompt.is_empty(), "empty prompt from distill source");
+        assert!(
+            n_img + prompt.len() + cfg.gen_len <= model.cfg.lm.max_seq,
+            "rollout exceeds target context"
+        );
         let mut t_cache = model.lm.new_cache();
         let pending = model.prefill_ws(&image, &prompt, &mut t_cache, &mut ws);
-        let gen =
-            autoregressive_greedy_seeded_ws(&model.lm, &mut t_cache, pending, cfg.gen_len, &mut ws);
-        let mut tokens = prompt;
-        tokens.extend_from_slice(&gen);
-        let teacher = mm_teacher_probs(model, &image, &tokens, cfg.temperature);
+        let tokens = rollout_inputs(
+            &model.lm,
+            &mut t_cache,
+            &prompt,
+            pending,
+            cfg.gen_len,
+            max_text,
+            &mut ws,
+        );
+        let (teacher, scored) = mm_teacher_scored(model, &image, &tokens, cfg.temperature);
 
         // The rollout above consumed t_cache past the prefix; the student
         // prefix must come from a cache holding prefix + text only — any
@@ -280,7 +378,7 @@ pub fn distill_hybrid(
             n_img,
         );
 
-        // -- student side: tape forward, KL, joint update -----------------
+        // -- student side: tape forward, KL (+ TD align), joint update ----
         let mut tape = Tape::new();
         let (logits, params, proj_params) = student_logits(
             &mut tape,
@@ -290,7 +388,13 @@ pub fn distill_hybrid(
             prefix_len,
             &prefix,
         );
-        let loss = tape.kl_div(logits, teacher);
+        let mut loss = tape.kl_div(logits, teacher.clone());
+        if let Some(td) = td {
+            let aux = td_align_loss(
+                &mut tape, draft, &params, &tokens, &scored, n_img, teacher, td,
+            );
+            loss = tape.add(loss, aux);
+        }
         losses.push(tape.value(loss).data[0]);
         let grads = tape.backward(loss);
 
@@ -316,6 +420,66 @@ pub fn distill_hybrid(
         }
     }
     losses
+}
+
+/// Build the TdAttention alignment branch on the SAME tape as the main KL
+/// loss, reusing the draft's parameter leaves from [`student_logits`] (leaf
+/// layout: `params[0]` = embed, block-`l` leaves at `1 + 9l` =
+/// `[attn_gain, wq, wk, wv, wo, mlp_gain, w1, w2, w3]`, then final_gain and
+/// head), so gradients from both losses accumulate at the shared weights.
+/// The target side enters as frozen leaves: the scored cache's last-layer
+/// text K/V rows at positions `n_img..n_img+t`.
+#[allow(clippy::too_many_arguments)]
+fn td_align_loss(
+    tape: &mut Tape,
+    draft: &Decoder,
+    params: &[VarId],
+    tokens: &[u32],
+    scored: &KvCache,
+    n_img: usize,
+    teacher: Tensor,
+    td: TdAlignConfig,
+) -> VarId {
+    let t = tokens.len();
+    let dim = draft.cfg.dim;
+    let n_heads = draft.cfg.n_heads;
+    let (cos, sin) = draft.rope.tables_range(0, t);
+
+    // Target text K/V from the deepest scored layer: rows n_img..n_img+t.
+    let last = scored.n_layers() - 1;
+    let layer = scored.layer(last);
+    assert!(layer.len() >= n_img + t, "scored cache lacks text rows");
+    let mut tk = Tensor::zeros(t, dim);
+    let mut tv = Tensor::zeros(t, dim);
+    for i in 0..t {
+        tk.row_mut(i).copy_from_slice(layer.key(n_img + i));
+        tv.row_mut(i).copy_from_slice(layer.value(n_img + i));
+    }
+    let tk = tape.leaf(tk);
+    let tv = tape.leaf(tv);
+
+    // Draft Q/K/V from the first block's projections over shared leaves.
+    let (embed, attn_gain, wq, wk, wv, wo) = (
+        params[0], params[1], params[2], params[3], params[4], params[5],
+    );
+    let x0 = tape.embed_gather(embed, tokens);
+    let h = tape.rms_norm(x0, attn_gain, draft.blocks[0].attn_norm.eps);
+    let q = tape.matmul(h, wq);
+    let dk = tape.matmul(h, wk);
+    let dv = tape.matmul(h, wv);
+    let q = tape.rope(q, n_heads, cos.clone(), sin.clone());
+    let dk = tape.rope(dk, n_heads, cos, sin);
+    let ctx = tape.td_attention(q, tk, tv, dk, dv, n_heads, td.window);
+    let o = tape.matmul(ctx, wo);
+    let x1 = tape.add(x0, o);
+
+    // Straight to the shared head: final norm + lm_head leaves.
+    let final_gain = params[params.len() - 2];
+    let head = params[params.len() - 1];
+    let xn = tape.rms_norm(x1, final_gain, draft.final_norm.eps);
+    let logits = tape.matmul(xn, head);
+    let kl = tape.kl_div(logits, teacher);
+    tape.scale(kl, td.weight)
 }
 
 #[cfg(test)]
@@ -408,6 +572,65 @@ mod tests {
         assert!(
             max_abs_diff(&proj.wk[0].data, &wk_before) > 1e-6,
             "projector weights never updated"
+        );
+    }
+
+    /// The TdAttention alignment term must leave the loss finite and still
+    /// trend down, and a frozen-prefix baseline graph must match the live
+    /// inference path over the same own-vision prefix.
+    #[test]
+    fn distill_hybrid_with_td_alignment_trains() {
+        let (model, mut draft, mut proj, _, _, _) = setup();
+        let cfg = HybridDistillConfig::smoke(16, 0xD7);
+        let (n_img, patch_dim) = (model.n_img(), model.cfg.vision.patch_dim);
+        let vocab = model.cfg.lm.vocab;
+        let mut source = move |_s: usize, rng: &mut Rng| {
+            (
+                Image::synthetic(rng, n_img, patch_dim),
+                random_prompt(rng, 4, vocab),
+            )
+        };
+        let td = TdAlignConfig {
+            window: 3,
+            weight: 0.5,
+        };
+        let losses = distill_hybrid_with(
+            &model,
+            &mut draft,
+            Some(&mut proj),
+            Ablation::projector(),
+            &cfg,
+            Some(td),
+            &mut source,
+        );
+        assert_eq!(losses.len(), 16);
+        assert!(losses.iter().all(|l| l.is_finite() && *l >= -1e-5));
+        let head: f32 = losses[..4].iter().sum::<f32>() / 4.0;
+        let tail: f32 = losses[12..].iter().sum::<f32>() / 4.0;
+        assert!(
+            tail < head,
+            "TD-aligned distillation did not trend down: {head} -> {tail}"
+        );
+    }
+
+    /// `frozen_prefix_logits` over a VLM's own vision rows must equal that
+    /// VLM's live inference logits after a vision prefill — the baseline
+    /// zoo's training graph sees the same function its decoding uses.
+    #[test]
+    fn frozen_prefix_logits_matches_own_vision_inference() {
+        let (model, _, _, img, prompt, _) = setup();
+        let rows = own_vision_rows(&model, &img);
+        let mut cache = model.lm.new_cache();
+        let embeds = model.encode_image(&img);
+        model.lm.forward_infer_embeds(&embeds, &mut cache);
+        let want = model.lm.forward_infer(&prompt, &mut cache);
+        let mut tape = Tape::new();
+        let (logits, params) = frozen_prefix_logits(&mut tape, &model.lm, &prompt, &rows);
+        assert_eq!(params.len(), model.lm.n_param_tensors());
+        let diff = max_abs_diff(&tape.value(logits).data, &want.data);
+        assert!(
+            diff < 1e-3,
+            "frozen-prefix train/inference mismatch: {diff}"
         );
     }
 

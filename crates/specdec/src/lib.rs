@@ -39,6 +39,7 @@
 //! different policies (`tests/int8_equivalence.rs` pins both properties).
 
 pub mod adaptive;
+pub mod cost;
 pub mod metrics;
 pub mod pipeline;
 pub mod ring;
@@ -46,6 +47,7 @@ pub mod session;
 pub mod tree;
 
 pub use adaptive::AdaptiveGamma;
+pub use cost::{fp16_bytes, DeviceClock};
 pub use metrics::SpecStats;
 pub use pipeline::{DraftAhead, DraftStep, VerifyHalf, VerifyReport, CONFIDENCE_STOP};
 pub use ring::{Rollback, SpscRing};
@@ -321,6 +323,11 @@ pub fn speculative_greedy_with_budget(
 /// of prompts and merge the per-run [`SpecStats`] into dataset-level
 /// counters. `stats.acceptance_rate()` on the result is the α that the
 /// training stack's distillation is meant to raise.
+///
+/// A single global merge hides distribution shift — PR 5 measured α spanning
+/// 0.06–1.0 across prompt families while the pooled number looked healthy.
+/// When the prompt set mixes workloads, use [`measure_acceptance_grouped`]
+/// and report each group's α separately.
 pub fn measure_acceptance(
     target: &Decoder,
     draft: &Decoder,
@@ -328,12 +335,35 @@ pub fn measure_acceptance(
     max_new: usize,
     gamma: usize,
 ) -> SpecStats {
-    let mut total = SpecStats::default();
-    for p in prompts {
-        let (_, stats) = speculative_greedy(target, draft, p, max_new, gamma);
-        total.merge(&stats);
-    }
-    total
+    let groups = [("all", prompts)];
+    measure_acceptance_grouped(target, draft, &groups, max_new, gamma)
+        .pop()
+        .expect("one group in, one group out")
+        .1
+}
+
+/// Per-group acceptance harness: like [`measure_acceptance`], but each named
+/// prompt group gets its **own** merged [`SpecStats`], so per-workload α/τ
+/// stay visible instead of being pooled into one global merge. Group order
+/// is preserved in the output.
+pub fn measure_acceptance_grouped<'a>(
+    target: &Decoder,
+    draft: &Decoder,
+    groups: &[(&'a str, &[Vec<u32>])],
+    max_new: usize,
+    gamma: usize,
+) -> Vec<(&'a str, SpecStats)> {
+    groups
+        .iter()
+        .map(|(name, prompts)| {
+            let mut total = SpecStats::default();
+            for p in *prompts {
+                let (_, stats) = speculative_greedy(target, draft, p, max_new, gamma);
+                total.merge(&stats);
+            }
+            (*name, total)
+        })
+        .collect()
 }
 
 fn last_row(logits: Tensor) -> Vec<f32> {
@@ -653,6 +683,30 @@ mod tests {
         // Self-draft α must dominate a mismatched draft's α.
         let self_stats = measure_acceptance(&target, &target, &prompts, 20, 4);
         assert!(self_stats.acceptance_rate() >= stats.acceptance_rate());
+    }
+
+    /// Per-group stats must match running each group alone, preserve order,
+    /// and sum to the pooled global merge — the grouped view loses nothing,
+    /// it only refuses to average away per-workload α differences.
+    #[test]
+    fn measure_acceptance_grouped_keeps_groups_separate() {
+        let target = tiny(60);
+        let draft = tiny(61);
+        let mut rng = Rng::new(17);
+        let a: Vec<Vec<u32>> = (0..3).map(|_| prompt(&mut rng, 4, 40)).collect();
+        let b: Vec<Vec<u32>> = (0..2).map(|_| prompt(&mut rng, 7, 40)).collect();
+        let groups: [(&str, &[Vec<u32>]); 2] = [("a", &a), ("b", &b)];
+        let grouped = measure_acceptance_grouped(&target, &draft, &groups, 16, 3);
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped[0].0, "a");
+        assert_eq!(grouped[1].0, "b");
+        assert_eq!(grouped[0].1, measure_acceptance(&target, &draft, &a, 16, 3));
+        assert_eq!(grouped[1].1, measure_acceptance(&target, &draft, &b, 16, 3));
+        let mut pooled = grouped[0].1.clone();
+        pooled.merge(&grouped[1].1);
+        let mut all = a.clone();
+        all.extend(b.iter().cloned());
+        assert_eq!(pooled, measure_acceptance(&target, &draft, &all, 16, 3));
     }
 
     #[test]

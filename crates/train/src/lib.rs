@@ -31,9 +31,9 @@ pub use optim::{Adam, Optimizer, Sgd};
 pub use schedule::Schedule;
 
 use aasd_autograd::{Tape, VarId};
-use aasd_nn::Decoder;
-use aasd_specdec::autoregressive_greedy_with_budget_ws;
-use aasd_tensor::{softmax_rows, Rng, Tensor, Workspace};
+use aasd_nn::{Decoder, KvCache};
+use aasd_specdec::autoregressive_greedy_seeded_ws;
+use aasd_tensor::{argmax, softmax_rows, Rng, Tensor, Workspace};
 
 /// What loss to attach to the `[t, vocab]` logits node of one example.
 #[derive(Debug, Clone)]
@@ -146,8 +146,64 @@ pub fn teacher_probs_with_temperature(
     inputs: &[u32],
     temperature: f32,
 ) -> Tensor {
+    sharpen_to_probs(teacher.forward_full(inputs), temperature)
+}
+
+/// Sample a seeded uniform random prompt — the synthetic prompt stream every
+/// self-data distillation loop draws from.
+pub fn random_prompt(rng: &mut Rng, len: usize, vocab: usize) -> Vec<u32> {
+    (0..len).map(|_| rng.below(vocab) as u32).collect()
+}
+
+/// Prefill `prompt` into `cache` (which may already hold a prefix, e.g. a
+/// multimodal vision prefix) on the fused zero-allocation path and return
+/// the teacher's greedy frontier token — the `pending` input the seeded
+/// rollout loops consume.
+pub fn prefill_prompt_ws(
+    teacher: &Decoder,
+    prompt: &[u32],
+    cache: &mut KvCache,
+    ws: &mut Workspace,
+) -> u32 {
+    let vocab = teacher.cfg.vocab;
+    let mut logits = ws.take(prompt.len() * vocab);
+    teacher.forward_infer_ws(prompt, cache, ws, &mut logits);
+    let pending = argmax(&logits[(prompt.len() - 1) * vocab..]) as u32;
+    ws.give(logits);
+    pending
+}
+
+/// The shared synthetic-rollout step used by every self-data distillation
+/// loop — text [`distill`], the multimodal `distill_hybrid` in `aasd-mm`,
+/// and the baseline-zoo trainers in `aasd-baselines`: greedily continue
+/// `pending` over the pre-seeded teacher `cache`, clamping the continuation
+/// to the cache's remaining room, and return `prompt ‖ generated` truncated
+/// to `max_len` — the token sequence the student trains on.
+pub fn rollout_inputs(
+    teacher: &Decoder,
+    cache: &mut KvCache,
+    prompt: &[u32],
+    pending: u32,
+    gen_len: usize,
+    max_len: usize,
+    ws: &mut Workspace,
+) -> Vec<u32> {
+    // The seeded loop feeds back all but the final committed token, so the
+    // feasible budget is the remaining room plus one (`ArSession` asserts).
+    let room = teacher.cfg.max_seq.min(cache.capacity()) + 1 - cache.len();
+    let gen = autoregressive_greedy_seeded_ws(teacher, cache, pending, gen_len.min(room), ws);
+    let mut inputs = prompt.to_vec();
+    inputs.extend_from_slice(&gen);
+    inputs.truncate(max_len);
+    inputs
+}
+
+/// Temperature-sharpen raw `[t, vocab]` teacher logits into the frozen
+/// probability rows [`LossSpec::KlDistill`] consumes: divide by `T`, then
+/// row-wise softmax. `T < 1` concentrates mass on the teacher's argmax —
+/// the quantity greedy speculative acceptance actually measures.
+pub fn sharpen_to_probs(mut logits: Tensor, temperature: f32) -> Tensor {
     assert!(temperature > 0.0, "temperature must be positive");
-    let mut logits = teacher.forward_full(inputs);
     if temperature != 1.0 {
         for v in &mut logits.data {
             *v /= temperature;
@@ -219,13 +275,12 @@ pub fn distill(
     let mut ws = Workspace::new();
     let budget = cfg.gen_len.min(max_seq - cfg.prompt_len);
     let mut make = |_step: usize| -> Example {
-        let prompt: Vec<u32> = (0..cfg.prompt_len)
-            .map(|_| rng.below(vocab) as u32)
-            .collect();
-        let gen = autoregressive_greedy_with_budget_ws(target, &prompt, budget, &mut ws);
-        let mut inputs = prompt;
-        inputs.extend_from_slice(&gen);
-        inputs.truncate(max_seq);
+        let prompt = random_prompt(&mut rng, cfg.prompt_len, vocab);
+        let mut cache = target.new_cache();
+        let pending = prefill_prompt_ws(target, &prompt, &mut cache, &mut ws);
+        let inputs = rollout_inputs(
+            target, &mut cache, &prompt, pending, budget, max_seq, &mut ws,
+        );
         let teacher_probs = teacher_probs_with_temperature(target, &inputs, cfg.temperature);
         Example {
             inputs,

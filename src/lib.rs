@@ -19,9 +19,16 @@
 //!   switches, and joint draft+projector distillation;
 //! * [`serve`] — the multi-session serving layer: continuous batching at
 //!   speculative-block granularity, admission control, lock-free metrics,
-//!   and a length-prefixed TCP front end.
+//!   and a length-prefixed TCP front end;
+//! * [`data`] — procedural multimodal workloads (WildSim / CocoCapSim /
+//!   SqaSim): shape scenes rendered to image patches plus a closed-vocab
+//!   grammar, seeded deterministic (image, prompt, reference) streams;
+//! * [`baselines`] — the Table-1 draft zoo (FT/DT-LLaMA, FT/DT-LLaVA vs the
+//!   full AASD draft) and the shared lossless speculative eval harness.
 
 pub use aasd_autograd as autograd;
+pub use aasd_baselines as baselines;
+pub use aasd_data as data;
 pub use aasd_mm as mm;
 pub use aasd_nn as nn;
 pub use aasd_serve as serve;
